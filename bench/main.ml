@@ -1,0 +1,765 @@
+(* Benchmark harness: regenerates every quantitative artifact of the
+   paper (Table 1; Fig. 2's message sequence) plus the derived
+   experiments committed to in DESIGN.md's experiment index. Each
+   experiment is registered under the name used in DESIGN.md /
+   EXPERIMENTS.md; run them all with
+
+     dune exec bench/main.exe
+
+   or a subset with
+
+     dune exec bench/main.exe -- table1_communication privacy_threshold *)
+
+open Dmw_bigint
+open Dmw_core
+module Trace = Dmw_sim.Trace
+module Minwork = Dmw_mechanism.Minwork
+module Schedule = Dmw_mechanism.Schedule
+module Optimal = Dmw_mechanism.Optimal
+module Workload = Dmw_workload.Workload
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* Least-squares slope of log y against log x: the empirical scaling
+   exponent. *)
+let fit_exponent xs ys = Dmw_stats.Stats.scaling_exponent ~xs ~ys
+
+let make_params ?(c = 1) ?(group_bits = 64) ~n ~m () =
+  Params.make_exn ~group_bits ~seed:3 ~n ~m ~c ()
+
+let uniform_bids rng (p : Params.t) =
+  Workload.random_levels rng ~n:p.Params.n ~m:p.Params.m ~w_max:p.Params.w_max
+
+(* ------------------------------------------------------------------ *)
+(* T1-comm: Table 1, communication cost                                *)
+
+let table1_communication () =
+  section "T1-comm: Table 1 / communication cost (paper: MinWork Θ(mn), DMW Θ(mn²))";
+  let measure ~n ~m =
+    let p = make_params ~n ~m () in
+    let rng = Prng.create ~seed:(n * 131 + m) in
+    let bids = uniform_bids rng p in
+    let r = Protocol.run ~seed:5 p ~bids ~keep_events:false in
+    assert (Protocol.completed r);
+    (Trace.messages r.Protocol.trace, Trace.bytes r.Protocol.trace)
+  in
+  (* MinWork's centralized cost model (Theorem 11 remark): each agent
+     sends its m bid values to the center, the center returns the m
+     allocations — Θ(mn) scalar transmissions. *)
+  let minwork_msgs ~n ~m = (m * n) + m in
+  Printf.printf "\n-- scaling in n (m = 2) --\n";
+  Printf.printf "%4s %14s %14s %12s\n" "n" "MinWork msgs" "DMW msgs" "DMW bytes";
+  let ns = [ 4; 6; 8; 12; 16; 20 ] in
+  let dmw_counts =
+    List.map
+      (fun n ->
+        let msgs, bytes = measure ~n ~m:2 in
+        Printf.printf "%4d %14d %14d %12d\n%!" n (minwork_msgs ~n ~m:2) msgs bytes;
+        float_of_int msgs)
+      ns
+  in
+  let slope = fit_exponent ns dmw_counts in
+  let mw_slope =
+    fit_exponent ns (List.map (fun n -> float_of_int (minwork_msgs ~n ~m:2)) ns)
+  in
+  Printf.printf "fitted exponent of n:  MinWork %.2f (theory 1)   DMW %.2f (theory 2)\n"
+    mw_slope slope;
+  Printf.printf "\n-- scaling in m (n = 8) --\n";
+  Printf.printf "%4s %14s %14s %12s\n" "m" "MinWork msgs" "DMW msgs" "DMW bytes";
+  let ms = [ 1; 2; 4; 8 ] in
+  let dmw_m =
+    List.map
+      (fun m ->
+        let msgs, bytes = measure ~n:8 ~m in
+        Printf.printf "%4d %14d %14d %12d\n%!" m (minwork_msgs ~n:8 ~m) msgs bytes;
+        float_of_int msgs)
+      ms
+  in
+  Printf.printf "fitted exponent of m:  DMW %.2f (theory 1)\n" (fit_exponent ms dmw_m)
+
+(* ------------------------------------------------------------------ *)
+(* T1-comp: Table 1, computational cost                                *)
+
+let table1_computation () =
+  section
+    "T1-comp: Table 1 / computational cost (paper: MinWork Θ(mn), DMW O(mn² log p))";
+  let cost ~n ~m ~group_bits =
+    let p = make_params ~n ~m ~group_bits () in
+    let rng = Prng.create ~seed:(n + m) in
+    let bids = uniform_bids rng p in
+    Direct.agent_cost p ~bids ~agent:0
+  in
+  Printf.printf "\n-- per-agent cost, scaling in n (m = 2, 64-bit group) --\n";
+  Printf.printf "%4s %12s %12s %10s %14s\n" "n" "mod-muls" "mod-exps" "time (s)"
+    "MinWork (s)";
+  let ns = [ 4; 6; 8; 12; 16 ] in
+  let exps =
+    List.map
+      (fun n ->
+        let c = cost ~n ~m:2 ~group_bits:64 in
+        let mw =
+          Direct.minwork_cost
+            ~bids:(Array.make n (Array.make 2 1.0))
+        in
+        Printf.printf "%4d %12d %12d %10.4f %14.6f\n%!" n c.Direct.multiplications
+          c.Direct.exponentiations c.Direct.seconds mw.Direct.seconds;
+        float_of_int c.Direct.exponentiations)
+      ns
+  in
+  Printf.printf "fitted exponent of n for per-agent mod-exps: %.2f (theory 2)\n"
+    (fit_exponent ns exps);
+  Printf.printf "\n-- per-agent cost, scaling in m (n = 8, 64-bit group) --\n";
+  Printf.printf "%4s %12s %12s %10s\n" "m" "mod-muls" "mod-exps" "time (s)";
+  let ms = [ 1; 2; 4; 8 ] in
+  let exps_m =
+    List.map
+      (fun m ->
+        let c = cost ~n:8 ~m ~group_bits:64 in
+        Printf.printf "%4d %12d %12d %10.4f\n%!" m c.Direct.multiplications
+          c.Direct.exponentiations c.Direct.seconds;
+        float_of_int c.Direct.exponentiations)
+      ms
+  in
+  Printf.printf "fitted exponent of m for per-agent mod-exps: %.2f (theory 1)\n"
+    (fit_exponent ms exps_m);
+  Printf.printf
+    "\n-- the log p factor: wall time vs group size (n = 8, m = 2) --\n";
+  Printf.printf "%6s %12s %12s %10s %16s\n" "bits" "mod-muls" "mod-exps" "time (s)"
+    "time / 64-bit";
+  let base = ref 0.0 in
+  List.iter
+    (fun group_bits ->
+      let c = cost ~n:8 ~m:2 ~group_bits in
+      if group_bits = 64 then base := c.Direct.seconds;
+      Printf.printf "%6d %12d %12d %10.4f %16.2f\n%!" group_bits
+        c.Direct.multiplications c.Direct.exponentiations c.Direct.seconds
+        (c.Direct.seconds /. !base))
+    [ 64; 128; 256; 512 ];
+  Printf.printf
+    "(mod-exp/mod-mul counts are size-independent; the growing wall time is\n";
+  Printf.printf " exactly the O(log p) arithmetic factor of Theorem 12)\n"
+
+(* ------------------------------------------------------------------ *)
+(* F2-seq: Fig. 2, the message sequence                                *)
+
+let fig2_message_sequence () =
+  section "F2-seq: Fig. 2 / message sequence of one auction";
+  let p = make_params ~n:4 ~m:1 () in
+  let bids = [| [| 2 |]; [| 1 |]; [| 2 |]; [| 2 |] |] in
+  let r = Protocol.run ~seed:5 p ~bids in
+  Printf.printf
+    "(A solid '->' is a private point-to-point message; '=>' is part of a\n\
+    \ published message, delivered as unicasts. Node A%d is the payment\n\
+    \ infrastructure.)\n\n"
+    (p.Params.n + 1);
+  Format.printf "%a@."
+    (Trace.pp_sequence ~max_events:200)
+    r.Protocol.trace;
+  Format.printf "per-phase totals:@.%a@." Trace.pp_summary r.Protocol.trace;
+  Printf.printf
+    "\nexpected phase order (paper Fig. 2): shares/commitments -> lambda_psi\n\
+     -> f_disclosure -> lambda_psi_excl -> payment_report\n"
+
+(* ------------------------------------------------------------------ *)
+(* E-approx: MinWork is an n-approximation                             *)
+
+let approximation_ratio () =
+  section "E-approx: makespan of MinWork vs optimal (paper: n-approximation)";
+  Printf.printf "\n-- random unrelated instances (20 per row) --\n";
+  Printf.printf "%4s %4s %12s %12s %12s\n" "n" "m" "mean ratio" "max ratio" "bound n";
+  List.iter
+    (fun (n, m) ->
+      let rng = Prng.create ~seed:(77 + n) in
+      let ratios =
+        List.init 20 (fun _ ->
+            let inst = Workload.uniform_unrelated rng ~n ~m ~lo:1.0 ~hi:10.0 in
+            let times = Dmw_mechanism.Instance.times inst in
+            let mw = Minwork.run_instance inst in
+            let _, opt = Optimal.run times in
+            Schedule.makespan ~times mw.Minwork.schedule /. opt)
+      in
+      let mean = List.fold_left ( +. ) 0.0 ratios /. 20.0 in
+      let mx = List.fold_left Float.max 0.0 ratios in
+      Printf.printf "%4d %4d %12.3f %12.3f %12d\n%!" n m mean mx n)
+    [ (2, 6); (3, 6); (4, 6); (5, 8); (6, 8) ];
+  Printf.printf "\n-- adversarial family (m = n): the bound is tight --\n";
+  Printf.printf "%4s %14s %14s %10s\n" "n" "MinWork mksp" "optimal mksp" "ratio";
+  List.iter
+    (fun n ->
+      let inst = Workload.adversarial_minwork ~n ~m:n in
+      let times = Dmw_mechanism.Instance.times inst in
+      let mw = Minwork.run_instance inst in
+      let _, opt = Optimal.run times in
+      let mk = Schedule.makespan ~times mw.Minwork.schedule in
+      Printf.printf "%4d %14.3f %14.3f %10.3f\n%!" n mk opt (mk /. opt))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* A-frugality: overpayment vs competition                             *)
+
+let frugality () =
+  section "A-frugality: Vickrey overpayment vs competition (paper ref. [5])";
+  Printf.printf
+    "\nMinWork pays second prices; the overpayment is the winners' rent\n\
+     from the competition gap and shrinks as machines are added\n\
+     (m = 6, 30 random instances per row):\n\n";
+  Printf.printf "%4s %16s %16s %18s\n" "n" "mean ratio" "p90 ratio"
+    "mean overpayment";
+  List.iter
+    (fun n ->
+      let rng = Prng.create ~seed:(n * 13) in
+      let ratios, overs =
+        List.split
+          (List.init 30 (fun _ ->
+               let inst =
+                 Workload.uniform_unrelated rng ~n ~m:6 ~lo:1.0 ~hi:10.0
+               in
+               let o = Minwork.run_instance inst in
+               (Dmw_mechanism.Metrics.frugality_ratio inst o,
+                Dmw_mechanism.Metrics.overpayment inst o)))
+      in
+      Printf.printf "%4d %16.3f %16.3f %18.2f\n%!" n
+        (Dmw_stats.Stats.mean ratios)
+        (Dmw_stats.Stats.percentile ratios ~p:90.0)
+        (Dmw_stats.Stats.mean overs))
+    [ 2; 4; 8; 16; 32 ];
+  Printf.printf
+    "\n(ratio -> 1 as n grows: thicker markets leave the winners less rent —\n\
+     the price of truthfulness vanishes with competition.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E-faith / E-svp: deviation utilities                                *)
+
+let deviation_table () =
+  let p = make_params ~n:6 ~m:2 () in
+  let truth =
+    [| [| 3; 2 |]; [| 1; 3 |]; [| 4; 4 |]; [| 2; 1 |]; [| 4; 3 |]; [| 3; 4 |] |]
+  in
+  let honest = Protocol.run ~seed:4 p ~bids:truth ~keep_events:false in
+  (p, truth, honest)
+
+let faithfulness_utility () =
+  section "E-faith: deviator's utility vs following the suggested strategy";
+  let p, truth, honest = deviation_table () in
+  let deviator = 1 in
+  let u_honest = Protocol.utility honest ~true_levels:truth ~agent:deviator in
+  Printf.printf "\ndeviator: agent %d (wins task 1 honestly; honest utility %+.1f)\n\n"
+    (deviator + 1) u_honest;
+  Printf.printf "%-28s %10s %12s %s\n" "strategy" "utility" "profitable?" "outcome";
+  let violations = ref 0 in
+  List.iter
+    (fun strategy ->
+      let r =
+        Protocol.run ~seed:4 p ~bids:truth ~keep_events:false
+          ~strategies:(fun i -> if i = deviator then strategy else Strategy.Suggested)
+      in
+      let u = Protocol.utility r ~true_levels:truth ~agent:deviator in
+      if u > u_honest +. 1e-9 then incr violations;
+      Printf.printf "%-28s %+10.1f %12s %s\n%!"
+        (Strategy.to_string strategy)
+        u
+        (if u > u_honest +. 1e-9 then "YES (!)" else "no")
+        (if Protocol.completed r then "completed"
+         else if Option.is_some r.Protocol.schedule then "payment withheld"
+         else "aborted")
+    )
+    (Strategy.all_deviations ~victim:3);
+  Printf.printf "\nfaithfulness violations found: %d (theory: 0 — Theorem 5)\n"
+    !violations
+
+let svp_utility () =
+  section "E-svp: honest agents' utilities while someone else deviates";
+  let p, truth, _ = deviation_table () in
+  let deviator = 1 in
+  Printf.printf "\ndeviator: agent %d; minimum utility over the honest agents:\n\n"
+    (deviator + 1);
+  Printf.printf "%-28s %16s\n" "strategy" "min honest utility";
+  let violations = ref 0 in
+  List.iter
+    (fun strategy ->
+      let r =
+        Protocol.run ~seed:4 p ~bids:truth ~keep_events:false
+          ~strategies:(fun i -> if i = deviator then strategy else Strategy.Suggested)
+      in
+      let us = Protocol.utilities r ~true_levels:truth in
+      let min_honest = ref infinity in
+      Array.iteri
+        (fun i u -> if i <> deviator then min_honest := Float.min !min_honest u)
+        us;
+      if !min_honest < -1e-9 then incr violations;
+      Printf.printf "%-28s %+16.1f\n%!" (Strategy.to_string strategy) !min_honest)
+    (Strategy.all_deviations ~victim:3);
+  Printf.printf
+    "\nstrong-voluntary-participation violations: %d (theory: 0 — Theorem 9)\n"
+    !violations
+
+(* ------------------------------------------------------------------ *)
+(* E-priv: the privacy threshold curve                                 *)
+
+let privacy_threshold () =
+  section "E-priv: smallest coalition that recovers a losing bid (Theorem 10)";
+  let n = 12 and c = 2 in
+  let p = Params.make_exn ~group_bits:64 ~seed:9 ~n ~m:1 ~c () in
+  let rng = Prng.create ~seed:10 in
+  Printf.printf "\nn = %d, c = %d, sigma = %d\n\n" n c p.Params.sigma;
+  Printf.printf "%4s %14s %14s %14s %14s %10s\n" "bid" "e-analytic" "e-empirical"
+    "f-analytic" "f-empirical" "safe at c?";
+  List.iter
+    (fun bid ->
+      let dealer =
+        Dmw_crypto.Bid_commitments.generate rng ~group:p.Params.group
+          ~sigma:p.Params.sigma ~tau:(Params.tau_of_bid p bid)
+      in
+      let empirical attack =
+        let rec search k =
+          if k > n then -1
+          else if attack p ~coalition:(List.init k Fun.id) ~dealer = Some bid
+          then k
+          else search (k + 1)
+        in
+        search 1
+      in
+      let e_emp = empirical Privacy.attack_dealer in
+      let f_emp = empirical Privacy.attack_dealer_f in
+      Printf.printf "%4d %14d %14d %14d %14d %10s\n%!" bid
+        (Privacy.min_coalition p ~bid)
+        e_emp
+        (Privacy.min_coalition_f ~bid)
+        f_emp
+        (if min e_emp f_emp > c then "yes" else "NO (!)"))
+    (Params.bid_levels p);
+  Printf.printf
+    "\nThe e-share threshold (the paper's analysis) decreases with the bid;\n\
+     the f-share threshold — which Theorem 10 does not consider — INCREASES\n\
+     with it: the true threshold is min(y+1, sigma-y+1), so bids below c are\n\
+     exposed by coalitions within the paper's own trust model. See\n\
+     EXPERIMENTS.md, second finding.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E-crash: crash tolerance vs bid-range headroom (Open Problem 11)    *)
+
+let crash_resilience () =
+  section "E-crash: crashes tolerated vs bid-range headroom (Open Problem 11)";
+  let n = 8 and c = 2 in
+  Printf.printf
+    "\nn = %d, c = %d. Agents crash after the bidding phase; a smaller bid\n\
+     range w_max gives headroom n − σ = n − (w_max + c + 1).\n\n"
+    n c;
+  Printf.printf "%6s %6s %9s  %s\n" "w_max" "sigma" "headroom"
+    "outcome per number of crashes (0..4)";
+  List.iter
+    (fun w_max ->
+      let p = Params.make_exn ~group_bits:64 ~seed:13 ~n ~m:1 ~c ~w_max () in
+      let rng = Prng.create ~seed:w_max in
+      let bids =
+        Array.init n (fun _ -> [| 1 + Prng.int rng p.Params.w_max |])
+      in
+      let outcomes =
+        List.map
+          (fun crashes ->
+            let crashed = List.init crashes (fun k -> n - 1 - k) in
+            let r =
+              Protocol.run ~seed:9 p ~bids ~keep_events:false
+                ~strategies:(fun i ->
+                  if List.mem i crashed then Strategy.Crash_after_bidding
+                  else Strategy.Suggested)
+            in
+            if Protocol.completed r then "ok"
+            else if Option.is_some r.Protocol.schedule then "sched"
+            else "stall")
+          [ 0; 1; 2; 3; 4 ]
+      in
+      Printf.printf "%6d %6d %9d  %s\n%!" w_max p.Params.sigma
+        (Params.crash_headroom p)
+        (String.concat " " outcomes))
+    [ 5; 4; 3; 2 ];
+  Printf.printf
+    "\n('ok' = schedule + payments; 'sched' = schedule but payment quorum\n\
+     missed; 'stall' = resolution or consensus impossible. Tolerance is\n\
+     min(headroom, c): beyond c crashes the n − c consensus/payment quorum\n\
+     fails even when resolution would still go through. The realized\n\
+     tolerance can also exceed the headroom when the minimum bid is high —\n\
+     see test/test_resilience.ml.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* A-batch: message batching ablation                                  *)
+
+let batching_ablation () =
+  section "A-batch: batching ablation — envelopes vs payload bytes";
+  let n = 8 in
+  Printf.printf
+    "\nn = %d. Batching packs everything one step emits per destination\n\
+     into one envelope: Phase II drops from Θ(mn²) messages to Θ(n²)\n\
+     while the payload bytes stay Θ(mn²).\n\n"
+    n;
+  Printf.printf "%4s %12s %12s %8s %14s %14s\n" "m" "plain msgs" "batched msgs"
+    "ratio" "plain bytes" "batched bytes";
+  List.iter
+    (fun m ->
+      let p = make_params ~n ~m () in
+      let rng = Prng.create ~seed:(100 + m) in
+      let bids = uniform_bids rng p in
+      let plain = Protocol.run ~seed:5 p ~bids ~keep_events:false in
+      let batched =
+        Protocol.run ~seed:5 p ~bids ~keep_events:false ~batching:true
+      in
+      assert (Protocol.completed plain && Protocol.completed batched);
+      let pm = Trace.messages plain.Protocol.trace in
+      let bm = Trace.messages batched.Protocol.trace in
+      Printf.printf "%4d %12d %12d %8.2f %14d %14d\n%!" m pm bm
+        (float_of_int pm /. float_of_int bm)
+        (Trace.bytes plain.Protocol.trace)
+        (Trace.bytes batched.Protocol.trace))
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* A-repeat: information leakage under repetition (Theorem 10 remark)  *)
+
+let repeated_leakage () =
+  section
+    "A-repeat: bid-posterior shrinkage under repeated runs (Theorem 10 remark)";
+  let n = 5 and m = 1 in
+  let p = make_params ~n ~m () in
+  let w = p.Params.w_max in
+  Printf.printf
+    "\nThe paper notes the first/second prices can be exploited \"only if the\n\
+     same set of jobs is scheduled repeatedly\". One run of an auction\n\
+     reveals (winner, y*, y**); an observer can intersect the bid profiles\n\
+     consistent with every observation. With fixed true bids the posterior\n\
+     collapses to the profiles sharing that outcome after a single run —\n\
+     repetition adds nothing more (DMW re-randomizes polynomials, so only\n\
+     the outcome leaks):\n\n";
+  (* Posterior analysis via the Leakage module. *)
+  let rng = Prng.create ~seed:17 in
+  let bids = Workload.random_levels rng ~n ~m ~w_max:w in
+  let r = Protocol.run ~seed:5 p ~bids ~keep_events:false in
+  let obs =
+    match (r.Protocol.schedule, r.Protocol.first_prices, r.Protocol.second_prices) with
+    | Some s, Some fp, Some sp ->
+        { Leakage.winner = Schedule.agent_of s ~task:0;
+          y_star = fp.(0);
+          y_star2 = sp.(0) }
+    | _ -> failwith "run failed"
+  in
+  Printf.printf "observed: winner=A%d, y*=%d, y**=%d\n" (obs.Leakage.winner + 1)
+    obs.Leakage.y_star obs.Leakage.y_star2;
+  let profiles = Leakage.consistent_profiles p obs in
+  let total = int_of_float (float_of_int w ** float_of_int n) in
+  Printf.printf "bid profiles total: %d; consistent with the outcome: %d\n"
+    total (List.length profiles);
+  Printf.printf "\nremaining per-agent uncertainty (prior %.2f bits/agent):\n"
+    (Leakage.prior_entropy_bits p);
+  List.iter
+    (fun (agent, bits) ->
+      Printf.printf "  A%d: %.3f bits%s\n" (agent + 1) bits
+        (if agent = obs.Leakage.winner then "  (winner: bid fully public)"
+         else if bits = 0.0 then "  (!)"
+         else ""))
+    (Leakage.posterior_report p obs);
+  Printf.printf
+    "\nRepetition with fixed bids adds nothing: every run re-randomizes the\n\
+     polynomials, so only the (identical) outcome leaks each time.\n"
+
+(* ------------------------------------------------------------------ *)
+(* A-latency: protocol completion time under network models            *)
+
+let completion_time () =
+  section "A-latency: virtual completion time of one DMW run vs network model";
+  Printf.printf
+    "\nThe protocol runs ~5 globally synchronized steps (shares/commitments,\n\
+     lambda_psi, disclosure, lambda_psi_excl, payment), so completion time\n\
+     is about 5x the slowest link's latency (m = 2):\n\n";
+  Printf.printf "%4s %14s %14s %14s %16s\n" "n" "LAN 1-2ms" "lognormal"
+    "2 clusters" "LAN @ 1 MB/s";
+  List.iter
+    (fun n ->
+      let p = make_params ~n ~m:2 () in
+      let rng = Prng.create ~seed:(n + 3) in
+      let bids = uniform_bids rng p in
+      let time ?bandwidth latency =
+        let r =
+          Protocol.run ~seed:5 p ~bids ~keep_events:false ~latency ?bandwidth
+        in
+        assert (Protocol.completed r);
+        r.Protocol.virtual_duration
+      in
+      let lan = Dmw_sim.Latency.uniform ~seed:1 ~n:(n + 1) ~lo:0.001 ~hi:0.002 in
+      Printf.printf "%4d %12.1f ms %12.1f ms %12.1f ms %14.1f ms\n%!" n
+        (1000.0 *. time lan)
+        (1000.0
+        *. time (Dmw_sim.Latency.lognormal ~seed:1 ~n:(n + 1) ~median:0.0015 ~sigma:0.8))
+        (1000.0
+        *. time
+             (Dmw_sim.Latency.clustered ~seed:1 ~n:(n + 1) ~clusters:2
+                ~local_:0.0005 ~remote:0.02))
+        (1000.0 *. time ~bandwidth:1_000_000.0 lan))
+    [ 4; 8; 12 ];
+  Printf.printf
+    "\n(Completion time is latency-bound, not bandwidth-bound: it grows\n\
+     with the slowest link, not with n — the protocol's rounds are\n\
+     parallel across agents and tasks.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* A-center: DMW vs the center-assisted baseline (ref. [33])           *)
+
+let baseline_comparison () =
+  section "A-center: fully distributed DMW vs center-assisted baseline (ref. [33])";
+  Printf.printf
+    "\nThe same MinWork outcome, two trust models (m = 2):\n\n";
+  Printf.printf "%4s | %12s %12s | %12s %12s\n" "n" "center msgs" "center bytes"
+    "DMW msgs" "DMW bytes";
+  List.iter
+    (fun n ->
+      let p = make_params ~n ~m:2 () in
+      let rng = Prng.create ~seed:(n * 7) in
+      let bids = uniform_bids rng p in
+      let cb = Dmw_center.run ~n ~m:2 ~c:1 bids in
+      let dmw = Protocol.run ~seed:5 p ~bids ~keep_events:false in
+      assert (Protocol.completed dmw && Option.is_some cb.Dmw_center.schedule);
+      (* Same allocation up to tie-breaking conventions; verify where
+         there are no ties by checking payments totals coincide for
+         tie-free columns is out of scope here — the equivalence is
+         covered by the test suites of both. *)
+      Printf.printf "%4d | %12d %12d | %12d %12d\n%!" n
+        (Trace.messages cb.Dmw_center.trace)
+        (Trace.bytes cb.Dmw_center.trace)
+        (Trace.messages dmw.Protocol.trace)
+        (Trace.bytes dmw.Protocol.trace))
+    [ 4; 8; 12; 16 ];
+  Printf.printf
+    "\nWhat the factor-n message overhead buys (measured in the test\n\
+     suites): bids stay private below the collusion threshold; no party\n\
+     must be trusted — the center baseline accepts a consistently forged\n\
+     echo with full unanimity (test_center.ml, 'consistent tampering\n\
+     UNDETECTED'), while every DMW tampering strategy is caught or\n\
+     harmless (test_protocol.ml, deviations).\n"
+
+(* ------------------------------------------------------------------ *)
+(* A-oneparam: related machines (future work) — frugality trade-off    *)
+
+let oneparam_tradeoff () =
+  section
+    "A-oneparam: related machines (paper's future work) — makespan vs frugality";
+  let module One = Dmw_oneparam in
+  let n = 6 and total = 120.0 in
+  let levels = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let rng = Prng.create ~seed:23 in
+  Printf.printf
+    "\nDivisible load of %.0f units on %d machines; every rule below is\n\
+     monotone, so its threshold payments are truthful. Averages over 30\n\
+     random cost profiles:\n\n"
+    total n;
+  Printf.printf "%-22s %12s %14s\n" "rule" "makespan" "total payment";
+  let profiles =
+    List.init 30 (fun _ ->
+        Array.init n (fun _ -> Prng.int rng (Array.length levels)))
+  in
+  List.iter
+    (fun (name, rule) ->
+      let mks, pays =
+        List.split
+          (List.map
+             (fun bids ->
+               let o = One.run rule ~levels ~bids in
+               let true_costs = Array.map (fun b -> levels.(b)) bids in
+               (One.makespan ~work:o.One.work ~true_costs, One.total_payment o))
+             profiles)
+      in
+      Printf.printf "%-22s %12.1f %14.1f\n%!" name
+        (Dmw_stats.Stats.mean mks)
+        (Dmw_stats.Stats.mean pays))
+    [ ("winner-take-all", One.winner_take_all ~total);
+      ("proportional g=1", One.proportional ~total ~gamma:1.0);
+      ("proportional g=2", One.proportional ~total ~gamma:2.0);
+      ("proportional g=4", One.proportional ~total ~gamma:4.0);
+      ("equal split", One.equal_split ~total) ];
+  Printf.printf
+    "\n(Sharper rules chase the fastest machines — lower payments, higher\n\
+     makespan concentration; winner-take-all is what chunked DMW implements\n\
+     distributively — see examples/related_machines.ml.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* A-multiunit: the (M+1)st-price ancestor protocol                    *)
+
+let multiunit_check () =
+  section "A-multiunit: (M+1)st-price auctions by iterated exclusion (ref. [23])";
+  let p = make_params ~n:8 ~m:1 () in
+  let rng = Prng.create ~seed:29 in
+  let trials = 30 in
+  let ok = ref 0 in
+  for _ = 1 to trials do
+    let bids = Array.init 8 (fun _ -> 1 + Prng.int rng p.Params.w_max) in
+    let units = 1 + Prng.int rng 4 in
+    if Multiunit.run_reference_consistent ~seed:3 p ~bids ~units then incr ok
+  done;
+  Printf.printf
+    "\n%d/%d random multi-unit auctions (n = 8, M in 1..4) agree with the\n\
+     centralized sort-and-take reference (winners, their bids, and the\n\
+     (M+1)st clearing price).\n"
+    !ok trials;
+  let bids = [| 3; 1; 4; 1; 2; 5; 2; 3 |] in
+  let o = Multiunit.run ~seed:3 p ~bids ~units:3 in
+  Printf.printf "example: bids %s, M = 3 -> winners %s at clearing price %d\n"
+    (String.concat "," (Array.to_list (Array.map string_of_int bids)))
+    (String.concat "," (List.map (fun i -> "A" ^ string_of_int (i + 1)) o.Multiunit.winners))
+    o.Multiunit.clearing_price
+
+(* ------------------------------------------------------------------ *)
+(* E-vickrey: end-to-end equivalence with the centralized mechanism    *)
+
+let equivalence_check () =
+  section "E-vickrey: DMW outcome == centralized MinWork outcome";
+  let trials = 40 in
+  let mismatches = ref 0 in
+  for seed = 1 to trials do
+    let rng = Prng.create ~seed in
+    let n = 5 + Prng.int rng 3 and m = 1 + Prng.int rng 3 in
+    let p = make_params ~n ~m () in
+    let bids = uniform_bids rng p in
+    let r = Protocol.run ~seed p ~bids ~keep_events:false in
+    let rank = Params.pseudonym_rank p in
+    let mw =
+      Minwork.run
+        ~tie_break:(Dmw_mechanism.Vickrey.Least_key (fun i -> rank.(i)))
+        (Array.map (Array.map float_of_int) bids)
+    in
+    let ok =
+      match r.Protocol.schedule with
+      | Some s ->
+          Schedule.equal s mw.Minwork.schedule
+          && Array.for_all2
+               (fun issued expected ->
+                 match issued with Some v -> v = expected | None -> false)
+               r.Protocol.payments mw.Minwork.payments
+      | None -> false
+    in
+    if not ok then incr mismatches
+  done;
+  Printf.printf "\n%d random instances (n in 5..7, m in 1..3): %d mismatches\n"
+    trials !mismatches;
+  Printf.printf "(allocation, ties and payments all agree with Def. 5 + eq. (1))\n"
+
+(* ------------------------------------------------------------------ *)
+(* µ-crypto: microbenchmarks of the primitives                         *)
+
+let micro_crypto () =
+  section "micro_crypto: primitive costs (Bechamel, OLS estimate per call)";
+  let open Bechamel in
+  let run_test name f =
+    let test = Test.make ~name (Staged.stage f) in
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    List.iter
+      (fun elt ->
+        let raw = Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt in
+        let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-36s %12.1f ns/call\n%!" name est
+        | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
+      (Test.elements test)
+  in
+  List.iter
+    (fun bits ->
+      let g = Dmw_modular.Group.standard ~bits in
+      let rng = Prng.create ~seed:bits in
+      let e = Dmw_modular.Group.random_exponent g rng in
+      run_test
+        (Printf.sprintf "modexp (%d-bit group)" bits)
+        (fun () -> ignore (Dmw_modular.Group.pow g g.Dmw_modular.Group.z1 e));
+      let ctx = Dmw_modular.Montgomery.create g.Dmw_modular.Group.p in
+      run_test
+        (Printf.sprintf "modexp montgomery (%d-bit)" bits)
+        (fun () -> ignore (Dmw_modular.Montgomery.pow ctx g.Dmw_modular.Group.z1 e)))
+    [ 64; 128; 256; 512; 1024 ];
+  let g = Dmw_modular.Group.standard ~bits:64 in
+  let rng = Prng.create ~seed:1 in
+  let v = Dmw_modular.Group.random_exponent g rng in
+  let b = Dmw_modular.Group.random_exponent g rng in
+  run_test "pedersen commit (64-bit)" (fun () ->
+      ignore (Dmw_crypto.Pedersen.commit g ~value:v ~blinding:b));
+  let sigma = 8 in
+  let dealer = Dmw_crypto.Bid_commitments.generate rng ~group:g ~sigma ~tau:4 in
+  let alpha = Bigint.of_int 3 in
+  let share = Dmw_crypto.Bid_commitments.share_for dealer ~alpha in
+  run_test "bundle generate (sigma=8)" (fun () ->
+      ignore (Dmw_crypto.Bid_commitments.generate rng ~group:g ~sigma ~tau:4));
+  run_test "share verify, eqs 7-9 (sigma=8)" (fun () ->
+      ignore
+        (Dmw_crypto.Bid_commitments.verify_share g dealer.Dmw_crypto.Bid_commitments.public
+           ~alpha share));
+  let q = g.Dmw_modular.Group.q in
+  let poly = Dmw_poly.Poly.random rng ~modulus:q ~degree:6 ~zero_constant:true in
+  let points = Array.init 10 (fun i -> Bigint.of_int (i + 1)) in
+  let values = Array.map (Dmw_poly.Poly.eval poly) points in
+  run_test "degree resolution (deg 6, 10 pts)" (fun () ->
+      ignore (Dmw_poly.Degree_resolution.resolve_exact ~modulus:q ~points ~values))
+
+(* ------------------------------------------------------------------ *)
+(* S-scale: a larger run, not part of the default set                  *)
+
+let scale_stress () =
+  section "S-scale: one big run (n = 32, m = 4, 64-bit group)";
+  let p = make_params ~n:32 ~m:4 () in
+  let rng = Prng.create ~seed:321 in
+  let bids = uniform_bids rng p in
+  let t0 = Unix.gettimeofday () in
+  let r = Protocol.run ~seed:5 p ~bids ~keep_events:false in
+  let dt = Unix.gettimeofday () -. t0 in
+  assert (Protocol.completed r);
+  Printf.printf
+    "\ncompleted: %d messages, %d bytes, %.2f s wall (%.0f msg/s), every\n\
+     agent ran %d+ verification checks.\n"
+    (Trace.messages r.Protocol.trace)
+    (Trace.bytes r.Protocol.trace)
+    dt
+    (float_of_int (Trace.messages r.Protocol.trace) /. dt)
+    (Array.fold_left
+       (fun acc (s : Protocol.agent_status) -> min acc s.Protocol.checks_performed)
+       max_int r.Protocol.statuses)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+(* [default = false] experiments only run when named explicitly. *)
+let optional_experiments = [ ("scale_stress", scale_stress) ]
+
+let experiments =
+  [ ("table1_communication", table1_communication);
+    ("table1_computation", table1_computation);
+    ("fig2_message_sequence", fig2_message_sequence);
+    ("approximation_ratio", approximation_ratio);
+    ("faithfulness_utility", faithfulness_utility);
+    ("svp_utility", svp_utility);
+    ("privacy_threshold", privacy_threshold);
+    ("crash_resilience", crash_resilience);
+    ("batching_ablation", batching_ablation);
+    ("repeated_leakage", repeated_leakage);
+    ("oneparam_tradeoff", oneparam_tradeoff);
+    ("multiunit_check", multiunit_check);
+    ("baseline_comparison", baseline_comparison);
+    ("completion_time", completion_time);
+    ("frugality", frugality);
+    ("equivalence_check", equivalence_check);
+    ("micro_crypto", micro_crypto) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let all = experiments @ optional_experiments in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst all));
+          exit 1)
+    requested;
+  Printf.printf "\nall experiments finished in %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,77 @@
+(* Crash recovery: surviving silent machines.
+
+   The paper (discussing Feigenbaum–Shenker's Open Problem 11) notes
+   that DMW remains computable while enough agents obey the protocol.
+   This example shows the knob that makes that concrete: shrinking the
+   bid range buys crash headroom n − σ, and the surviving agents then
+   resolve both prices from the share subset they still hold.
+
+   Run with: dune exec examples/crash_recovery.exe *)
+
+open Dmw_core
+
+let n = 8
+let c = 2
+
+let bids =
+  [| [| 3; 2 |]; [| 1; 3 |]; [| 3; 3 |]; [| 2; 1 |];
+     [| 3; 2 |]; [| 2; 3 |]; [| 3; 3 |]; [| 2; 2 |] |]
+
+let run params ~crashed =
+  Protocol.run ~seed:9 params ~bids ~keep_events:false
+    ~strategies:(fun i ->
+      if List.mem i crashed then Strategy.Crash_after_bidding
+      else Strategy.Suggested)
+
+let describe label params ~crashed =
+  let r = run params ~crashed in
+  Format.printf "%-34s  crashed=%d  headroom=%d  ->  %s@." label
+    (List.length crashed)
+    (Params.crash_headroom params)
+    (if Protocol.completed r then "completed"
+     else
+       match
+         Array.find_opt
+           (fun (s : Protocol.agent_status) -> Option.is_some s.Protocol.aborted)
+           r.Protocol.statuses
+       with
+       | Some s ->
+           Format.asprintf "failed (%a)" Audit.pp_reason
+             (Option.get s.Protocol.aborted)
+       | None -> "failed");
+  r
+
+let () =
+  Format.printf "=== full bid range: no headroom ===@.";
+  Format.printf
+    "With w_max at its maximum (n - c - 1 = %d), sigma = n and a single@."
+    (n - c - 1);
+  Format.printf "silent machine can block first-price resolution:@.@.";
+  let tight = Params.make_exn ~group_bits:64 ~seed:13 ~n ~m:2 ~c () in
+  ignore (describe "w_max = 5 (maximal)" tight ~crashed:[]);
+  ignore (describe "w_max = 5 (maximal)" tight ~crashed:[ 6 ]);
+
+  Format.printf "@.=== traded range: headroom = 2 ===@.";
+  Format.printf
+    "Giving up two bid levels (w_max = 3, sigma = 6) lets any two machines@.";
+  Format.printf "disappear after the bidding phase:@.@.";
+  let roomy = Params.make_exn ~group_bits:64 ~seed:13 ~n ~m:2 ~c ~w_max:3 () in
+  let baseline = describe "w_max = 3" roomy ~crashed:[] in
+  let survived = describe "w_max = 3" roomy ~crashed:[ 5; 6 ] in
+
+  (match (baseline.Protocol.schedule, survived.Protocol.schedule) with
+  | Some a, Some b when Dmw_mechanism.Schedule.equal a b ->
+      Format.printf
+        "@.The surviving agents computed the SAME schedule and payments the@.";
+      Format.printf "crash-free run produces:@.@.%a@."
+        Dmw_mechanism.Schedule.pp a
+  | _ -> ());
+
+  Format.printf
+    "@.A crashed machine's committed bid still participates — its shares@.";
+  Format.printf
+    "live on with the others. If it was the cheapest machine it still@.";
+  Format.printf
+    "wins (test/test_resilience.ml exercises that case), which is exactly@.";
+  Format.printf
+    "the mechanism's contract: bids bind from the moment they are dealt.@."

@@ -1,0 +1,131 @@
+(* Sign-magnitude representation. Invariant: [mag] is zero iff
+   [sign = 0], and [sign] is [-1], [0] or [1]. *)
+
+type t = { sign : int; mag : Nat.t }
+
+let mk sign mag =
+  if Nat.is_zero mag then { sign = 0; mag = Nat.zero } else { sign; mag }
+
+let zero = { sign = 0; mag = Nat.zero }
+let of_nat n = mk 1 n
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then { sign = 1; mag = Nat.of_int n }
+  else { sign = -1; mag = Nat.of_int (-n) }
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let to_int a =
+  match Nat.to_int a.mag with
+  | Some m -> Some (a.sign * m)
+  | None -> None
+
+let to_int_exn a =
+  match to_int a with
+  | Some i -> i
+  | None -> failwith "Bigint.to_int_exn: value too large"
+
+let to_nat a =
+  if a.sign < 0 then invalid_arg "Bigint.to_nat: negative" else a.mag
+
+let sign a = a.sign
+let neg a = mk (-a.sign) a.mag
+let abs a = mk (if a.sign = 0 then 0 else 1) a.mag
+let is_zero a = a.sign = 0
+
+let add a b =
+  match (a.sign, b.sign) with
+  | 0, _ -> b
+  | _, 0 -> a
+  | sa, sb when sa = sb -> { sign = sa; mag = Nat.add a.mag b.mag }
+  | sa, _ ->
+      let c = Nat.compare a.mag b.mag in
+      if c = 0 then zero
+      else if c > 0 then mk sa (Nat.sub a.mag b.mag)
+      else mk (-sa) (Nat.sub b.mag a.mag)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = Nat.mul a.mag b.mag }
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else a.sign * Nat.compare a.mag b.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+(* Euclidean division: remainder is always non-negative. *)
+let ediv_rem a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = Nat.divmod a.mag b.mag in
+  match (a.sign, b.sign) with
+  | 0, _ -> (zero, zero)
+  | 1, 1 -> (mk 1 q, mk 1 r)
+  | 1, -1 -> (mk (-1) q, mk 1 r)
+  | -1, bs ->
+      if Nat.is_zero r then (mk (-bs) q, zero)
+      else (mk (-bs) (Nat.add q Nat.one), mk 1 (Nat.sub b.mag r))
+  | _ -> assert false
+
+let erem a b = snd (ediv_rem a b)
+
+let pow a k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else if k land 1 = 1 then go (mul acc base) (mul base base) (k lsr 1)
+    else go acc (mul base base) (k lsr 1)
+  in
+  go one a k
+
+let num_bits a = Nat.num_bits a.mag
+let testbit a i = Nat.testbit a.mag i
+let is_even a = a.sign = 0 || Nat.is_even a.mag
+let shift_left a n = mk a.sign (Nat.shift_left a.mag n)
+let shift_right a n = mk a.sign (Nat.shift_right a.mag n)
+
+let to_string a =
+  match a.sign with
+  | 0 -> "0"
+  | 1 -> Nat.to_string a.mag
+  | _ -> "-" ^ Nat.to_string a.mag
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    mk (-1) (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  else of_nat (Nat.of_string s)
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let hash a =
+  Array.fold_left (fun acc l -> (acc * 65599) + l) a.sign (Nat.limbs a.mag)
+
+let byte_size a = Nat.byte_size a.mag
+
+let low_bits a k =
+  if a.sign < 0 then invalid_arg "Bigint.low_bits: negative";
+  sub a (shift_left (shift_right a k) k)
+
+let to_bytes_be a =
+  if a.sign < 0 then invalid_arg "Bigint.to_bytes_be: negative";
+  Nat.to_bytes_be a.mag
+
+let of_bytes_be s = of_nat (Nat.of_bytes_be s)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

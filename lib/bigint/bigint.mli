@@ -1,0 +1,85 @@
+(** Arbitrary-precision signed integers.
+
+    A thin signed layer over {!Nat}. This is the number type used
+    throughout the repository: field elements, polynomial coefficients,
+    commitments and payments are all [Bigint.t]. Values are immutable
+    and structurally comparable via {!compare}/{!equal}. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int : t -> int option
+val to_int_exn : t -> int
+
+val of_nat : Nat.t -> t
+val to_nat : t -> Nat.t
+(** Magnitude as a natural. @raise Invalid_argument on negatives. *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: [ediv_rem a b = (q, r)] with [a = q*b + r] and
+    [0 <= r < |b|]. @raise Division_by_zero if [b] is zero. *)
+
+val erem : t -> t -> t
+(** Euclidean remainder, always in [[0, |b|)]. *)
+
+val pow : t -> int -> t
+(** [pow a k] for [k >= 0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+val is_zero : t -> bool
+val is_even : t -> bool
+val num_bits : t -> int
+val testbit : t -> int -> bool
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Shifts act on the magnitude; sign is preserved. *)
+
+val low_bits : t -> int -> t
+(** [low_bits a k] keeps the [k] least significant bits, i.e.
+    [a mod 2^k]. Defined for non-negative [a] only.
+    @raise Invalid_argument on negatives. *)
+
+val of_string : string -> t
+(** Decimal, or hexadecimal with ["0x"] prefix; optional leading ['-']. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val byte_size : t -> int
+
+val to_bytes_be : t -> string
+(** Minimal big-endian encoding of the magnitude.
+    @raise Invalid_argument on negatives (protocol values are
+    canonical residues, always non-negative). *)
+
+val of_bytes_be : string -> t
+
+(** Infix aliases, intended for local [open Bigint.Infix]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

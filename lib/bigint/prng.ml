@@ -1,0 +1,83 @@
+(* Splitmix64 (Steele, Lea, Flood 2014): tiny state, passes BigCrush,
+   and trivially supports stream splitting. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = next_int64 g in
+  { state = seed }
+
+(* Non-negative 62-bit int from the raw output. *)
+let next_nonneg g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = 0x3FFF_FFFF_FFFF_FFFF / bound * bound in
+  let rec go () =
+    let v = next_nonneg g in
+    if v < limit then v mod bound else go ()
+  in
+  go ()
+
+let int_in_range g ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in_range: empty range";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bits g n =
+  if n < 0 then invalid_arg "Prng.bits: negative";
+  let rec go acc remaining =
+    if remaining <= 0 then acc
+    else begin
+      let take = Stdlib.min remaining 32 in
+      let chunk = Int64.to_int (Int64.logand (next_int64 g) 0xFFFF_FFFFL) land ((1 lsl take) - 1) in
+      let acc = Bigint.add (Bigint.shift_left acc take) (Bigint.of_int chunk) in
+      go acc (remaining - take)
+    end
+  in
+  go Bigint.zero n
+
+let below g bound =
+  if Bigint.compare bound Bigint.zero <= 0 then
+    invalid_arg "Prng.below: bound must be positive";
+  let nbits = Bigint.num_bits bound in
+  let rec go () =
+    let candidate = bits g nbits in
+    if Bigint.compare candidate bound < 0 then candidate else go ()
+  in
+  go ()
+
+let in_range g ~lo ~hi =
+  if Bigint.compare hi lo < 0 then invalid_arg "Prng.in_range: empty range";
+  let width = Bigint.add (Bigint.sub hi lo) Bigint.one in
+  Bigint.add lo (below g width)
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

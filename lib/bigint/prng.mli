@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every randomized component in the repository (polynomial sampling,
+    prime generation, workload synthesis, the simulator's latency
+    model) draws from an explicitly seeded {!t}, which makes protocol
+    runs, tests and benchmarks reproducible bit-for-bit. Not
+    cryptographically secure — adequate for a simulation study, and the
+    paper's security arguments are information-theoretic over the
+    sampled polynomials rather than dependent on generator quality. *)
+
+type t
+
+val create : seed:int -> t
+(** A fresh generator; equal seeds yield equal streams. *)
+
+val split : t -> t
+(** Derive an independent generator (for per-agent streams) while
+    advancing the parent. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [[0, bound)]. [bound > 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [[lo, hi]]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val bits : t -> int -> Bigint.t
+(** [bits g n] is a uniform [n]-bit natural (top bit not forced). *)
+
+val below : t -> Bigint.t -> Bigint.t
+(** [below g bound] is uniform in [[0, bound)] by rejection sampling.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val in_range : t -> lo:Bigint.t -> hi:Bigint.t -> Bigint.t
+(** Uniform in the inclusive range [[lo, hi]]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

@@ -1,0 +1,32 @@
+type reason =
+  | Bad_share of { dealer : int }
+  | Bad_lambda_psi of { agent : int }
+  | Bad_disclosure of { agent : int }
+  | Bad_lambda_psi_excl of { agent : int }
+  | Resolution_failed of { stage : string }
+  | Payment_disagreement
+  | Stalled of { phase : string }
+
+type entry = { task : int; description : string; ok : bool }
+
+type t = { mutable entries_rev : entry list; mutable count : int }
+
+let create () = { entries_rev = []; count = 0 }
+
+let log t ~task ~description ~ok =
+  t.entries_rev <- { task; description; ok } :: t.entries_rev;
+  t.count <- t.count + 1
+
+let entries t = List.rev t.entries_rev
+let checks_performed t = t.count
+let failures t = List.filter (fun e -> not e.ok) (entries t)
+
+let pp_reason fmt = function
+  | Bad_share { dealer } -> Format.fprintf fmt "inconsistent share from agent %d" dealer
+  | Bad_lambda_psi { agent } -> Format.fprintf fmt "inconsistent (Lambda, Psi) from agent %d" agent
+  | Bad_disclosure { agent } -> Format.fprintf fmt "inconsistent f-disclosure from agent %d" agent
+  | Bad_lambda_psi_excl { agent } ->
+      Format.fprintf fmt "inconsistent second-price (Lambda, Psi) from agent %d" agent
+  | Resolution_failed { stage } -> Format.fprintf fmt "degree resolution failed (%s)" stage
+  | Payment_disagreement -> Format.fprintf fmt "payment reports disagree"
+  | Stalled { phase } -> Format.fprintf fmt "stalled waiting in phase %s" phase

@@ -1,0 +1,34 @@
+(** Abort reasons and verification logging.
+
+    Every consistency check an honest agent performs (eqs. (7)–(9),
+    (11), (13) and the payment cross-check) is recorded; when a check
+    fails the agent aborts the protocol, and the reason is surfaced in
+    the protocol result. The deviation tests assert not only that a
+    deviation is unprofitable but that it is detected {e for the
+    documented reason}. *)
+
+type reason =
+  | Bad_share of { dealer : int }
+      (** A share bundle failed eq. (7), (8) or (9). *)
+  | Bad_lambda_psi of { agent : int }  (** eq. (11) failed. *)
+  | Bad_disclosure of { agent : int }  (** eq. (13) failed. *)
+  | Bad_lambda_psi_excl of { agent : int }
+      (** eq. (11) restricted to non-winners failed in Phase III.4. *)
+  | Resolution_failed of { stage : string }
+      (** No candidate degree passed the zero test — some Λ values were
+          forged without failing (11), or too many agents are faulty. *)
+  | Payment_disagreement
+      (** The payment infrastructure received conflicting reports. *)
+  | Stalled of { phase : string }
+      (** Progress stopped: an expected message never arrived. *)
+
+type entry = { task : int; description : string; ok : bool }
+
+type t
+
+val create : unit -> t
+val log : t -> task:int -> description:string -> ok:bool -> unit
+val entries : t -> entry list
+val checks_performed : t -> int
+val failures : t -> entry list
+val pp_reason : Format.formatter -> reason -> unit

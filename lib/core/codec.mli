@@ -1,0 +1,41 @@
+(** Binary wire format for protocol messages.
+
+    A compact, self-describing encoding so that the simulator's byte
+    accounting reflects a real serialization rather than a model, and
+    so that malformed input handling is testable. Layout:
+
+    {v
+    message   := tag:u8 body
+    body      := task:u16 fields            (except payment_report)
+    bigint    := len:u16 bytes[len]         (minimal big-endian)
+    vector    := count:u16 bigint[count]
+    float     := IEEE-754 binary64, big-endian
+    v}
+
+    Decoding is total: any input that is not the encoding of a message
+    yields [Error]. Encode/decode are exact inverses on well-formed
+    values ([decode (encode m) = Ok m], tested by roundtrip
+    properties). *)
+
+open Dmw_bigint
+
+val encode : Messages.t -> string
+
+val decode : string -> (Messages.t, string) result
+(** [Error] carries a human-readable reason (bad tag, truncation,
+    trailing garbage, oversized field). *)
+
+val encoded_size : Messages.t -> int
+(** [String.length (encode m)], without materializing intermediate
+    copies; used by the agents for byte accounting. *)
+
+val max_bigint_bytes : int
+(** Upper bound on a single bigint field (a decoding guard against
+    hostile length prefixes). *)
+
+val bigint_to_field : Bigint.t -> string
+(** The [bigint] field encoding alone (exposed for tests). *)
+
+val bigint_of_field : string -> pos:int -> (Bigint.t * int, string) result
+(** Decode one bigint field at [pos]; returns the value and the
+    position after it. *)

@@ -1,0 +1,60 @@
+type observation = {
+  winner : int;
+  y_star : int;
+  y_star2 : int;
+}
+
+let observe (params : Params.t) ~bids =
+  if Array.length bids <> params.n then invalid_arg "Leakage.observe: bids length";
+  let rank = Params.pseudonym_rank params in
+  let o =
+    Dmw_mechanism.Vickrey.run
+      ~tie_break:(Dmw_mechanism.Vickrey.Least_key (fun i -> rank.(i)))
+      (Array.map float_of_int bids)
+  in
+  { winner = o.Dmw_mechanism.Vickrey.winner;
+    y_star = int_of_float o.Dmw_mechanism.Vickrey.winning_bid;
+    y_star2 = int_of_float o.Dmw_mechanism.Vickrey.price }
+
+let consistent_profiles (params : Params.t) obs =
+  let n = params.n and w = params.w_max in
+  let profile = Array.make n 1 in
+  let acc = ref [] in
+  let rec enumerate i =
+    if i = n then begin
+      let o = observe params ~bids:profile in
+      if o = obs then acc := Array.copy profile :: !acc
+    end
+    else
+      for y = 1 to w do
+        profile.(i) <- y;
+        enumerate (i + 1)
+      done
+  in
+  enumerate 0;
+  !acc
+
+let log2 x = log x /. log 2.0
+
+let prior_entropy_bits (params : Params.t) = log2 (float_of_int params.w_max)
+
+let marginal_entropy_bits (params : Params.t) ~profiles ~agent =
+  match profiles with
+  | [] -> invalid_arg "Leakage.marginal_entropy_bits: empty posterior"
+  | _ ->
+      let counts = Array.make (params.w_max + 1) 0 in
+      List.iter (fun p -> counts.(p.(agent)) <- counts.(p.(agent)) + 1) profiles;
+      let total = float_of_int (List.length profiles) in
+      Array.fold_left
+        (fun acc c ->
+          if c = 0 then acc
+          else begin
+            let pr = float_of_int c /. total in
+            acc -. (pr *. log2 pr)
+          end)
+        0.0 counts
+
+let posterior_report params obs =
+  let profiles = consistent_profiles params obs in
+  List.init params.Params.n (fun agent ->
+      (agent, marginal_entropy_bits params ~profiles ~agent))

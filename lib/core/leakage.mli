@@ -1,0 +1,44 @@
+(** Quantifying what the outcome reveals (Open Problem 12).
+
+    The paper concedes DMW's privacy is "imperfect since it reveals
+    some information such as the winning user and the first-price and
+    second-price bids", intrinsic to the scheduling problem. This
+    module measures exactly how much, by Bayesian enumeration: given
+    one auction's public outcome — winner, first and second price —
+    the posterior
+    over bid profiles is uniform on the profiles that produce that
+    outcome, and each agent's remaining uncertainty is the Shannon
+    entropy of its bid's marginal.
+
+    Facts the tests pin down: the winner's bid is fully revealed
+    (entropy 0 — it equals [y*]); a runner-up that sets [y**] keeps
+    partial uncertainty; agents bidding above [y**] keep the most; and
+    because DMW re-randomizes its polynomials every run, repeating the
+    same auction adds no further information (the A-repeat
+    experiment). Exhaustive enumeration costs [w_max^n], so keep
+    [n ⋅ log w_max] modest (n ≤ 8 at w_max ≤ 5 is instant). *)
+
+type observation = {
+  winner : int;
+  y_star : int;
+  y_star2 : int;
+}
+
+val observe : Params.t -> bids:int array -> observation
+(** The public outcome of a single-task auction on [bids] (pseudonym
+    tie-breaking, as the protocol produces). *)
+
+val consistent_profiles : Params.t -> observation -> int array list
+(** All bid profiles in [W^n] producing the observation. Never empty
+    for an observation returned by {!observe}. *)
+
+val prior_entropy_bits : Params.t -> float
+(** Per-agent prior uncertainty: [log2 w_max]. *)
+
+val marginal_entropy_bits :
+  Params.t -> profiles:int array list -> agent:int -> float
+(** Entropy of [agent]'s bid under the uniform posterior over
+    [profiles]. *)
+
+val posterior_report : Params.t -> observation -> (int * float) list
+(** [(agent, remaining entropy in bits)] for every agent. *)

@@ -1,0 +1,112 @@
+open Dmw_bigint
+open Dmw_modular
+open Dmw_crypto
+
+type outcome = {
+  winners : int list;
+  prices : int list;
+  clearing_price : int;
+}
+
+let run ?(seed = 42) (params : Params.t) ~bids ~units =
+  let n = params.n in
+  if Array.length bids <> n then invalid_arg "Multiunit.run: bids length <> n";
+  if units < 1 || units > n - 1 then
+    invalid_arg "Multiunit.run: need 1 <= units <= n - 1";
+  Array.iter
+    (fun y ->
+      if not (Params.valid_bid params y) then
+        invalid_arg "Multiunit.run: bid outside W")
+    bids;
+  let rng = Prng.create ~seed:(seed lxor 0x3417) in
+  let group = params.group in
+  let q = group.Group.q in
+  let dealers =
+    Array.map
+      (fun y ->
+        Bid_commitments.generate rng ~group ~sigma:params.sigma
+          ~tau:(Params.tau_of_bid params y))
+      bids
+  in
+  let share i k = Bid_commitments.share_for dealers.(i) ~alpha:params.alphas.(k) in
+  let lambdas =
+    Array.init n (fun k ->
+        let esum =
+          Array.fold_left
+            (fun acc i -> Zmod.add q acc (share i k).Share.e_at)
+            Bigint.zero
+            (Array.init n Fun.id)
+        in
+        Exponent_resolution.lambda group ~e_sum_at:esum)
+  in
+  (* f-share values used for winner identification: f_values.(i).(k). *)
+  let f_values = Array.init n (fun i -> Array.init n (fun k -> (share i k).Share.f_at)) in
+  let rec rounds lambdas won prices remaining =
+    let y_star =
+      match Resolution.first_price params ~lambdas with
+      | Some y -> y
+      | None -> failwith "Multiunit.run: resolution failed"
+    in
+    if remaining = 0 then
+      { winners = List.rev won; prices = List.rev prices; clearing_price = y_star }
+    else begin
+      (* Winner: smallest pseudonym among the not-yet-selected agents
+         whose f polynomial has degree <= y* (eq. 14). *)
+      let passes i =
+        (not (List.mem i won))
+        && Dmw_poly.Degree_resolution.test ~modulus:q ~points:params.alphas
+             ~values:f_values.(i) ~candidate:y_star
+      in
+      let winner =
+        List.filter passes (List.init n Fun.id)
+        |> List.fold_left
+             (fun best i ->
+               match best with
+               | None -> Some i
+               | Some b ->
+                   if Bigint.compare params.alphas.(i) params.alphas.(b) < 0
+                   then Some i
+                   else best)
+             None
+      in
+      match winner with
+      | None -> failwith "Multiunit.run: winner identification failed"
+      | Some w ->
+          (* eq. 15: divide the winner's e out of every Λ. *)
+          let lambdas =
+            Array.mapi
+              (fun k lambda ->
+                Group.div group lambda
+                  (Group.pow group group.Group.z1 (share w k).Share.e_at))
+              lambdas
+          in
+          rounds lambdas (w :: won) (y_star :: prices) (remaining - 1)
+    end
+  in
+  rounds lambdas [] [] units
+
+let reference ~bids ~units =
+  let n = Array.length bids in
+  let order = List.init n Fun.id in
+  let sorted = List.stable_sort (fun a b -> Stdlib.compare bids.(a) bids.(b)) order in
+  let winners = List.filteri (fun i _ -> i < units) sorted in
+  { winners;
+    prices = List.map (fun i -> bids.(i)) winners;
+    clearing_price = bids.(List.nth sorted units) }
+
+let run_reference_consistent ?seed (params : Params.t) ~bids ~units =
+  let rank = Params.pseudonym_rank params in
+  (* Re-express the reference with the pseudonym tie-break: sort by
+     (bid, pseudonym rank). *)
+  let n = Array.length bids in
+  let sorted =
+    List.sort
+      (fun a b -> Stdlib.compare (bids.(a), rank.(a)) (bids.(b), rank.(b)))
+      (List.init n Fun.id)
+  in
+  let expected_winners = List.filteri (fun i _ -> i < units) sorted in
+  let expected_price = bids.(List.nth sorted units) in
+  let o = run ?seed params ~bids ~units in
+  o.winners = expected_winners
+  && o.clearing_price = expected_price
+  && o.prices = List.map (fun i -> bids.(i)) expected_winners

@@ -1,0 +1,72 @@
+open Dmw_bigint
+open Dmw_modular
+
+type t = {
+  group : Group.t;
+  n : int;
+  m : int;
+  c : int;
+  w_max : int;
+  sigma : int;
+  alphas : Bigint.t array;
+}
+
+let make ?(group_bits = 64) ?(seed = 1) ?w_max ~n ~m ~c () =
+  if n < 3 then Error "need at least 3 agents"
+  else if m < 1 then Error "need at least 1 task"
+  else if c < 1 || c > n - 2 then Error "need 1 <= c <= n - 2"
+  else begin
+    let w_max = Option.value w_max ~default:(n - c - 1) in
+    if w_max < 1 then Error "bid set empty: increase n or decrease c"
+    else if w_max > n - c - 1 then
+      Error "w_max too large: resolution would need more than n shares"
+    else begin
+      let group = Group.standard ~bits:group_bits in
+      let rng = Prng.create ~seed:(seed lxor 0x5eed) in
+      (* Distinct nonzero pseudonyms from Z_q^*. *)
+      let seen = Hashtbl.create n in
+      let alphas =
+        Array.init n (fun _ ->
+            let rec fresh () =
+              let a = Group.random_exponent group rng in
+              if Hashtbl.mem seen a then fresh ()
+              else begin
+                Hashtbl.add seen a ();
+                a
+              end
+            in
+            fresh ())
+      in
+      Ok { group; n; m; c; w_max; sigma = w_max + c + 1; alphas }
+    end
+  end
+
+let make_exn ?group_bits ?seed ?w_max ~n ~m ~c () =
+  match make ?group_bits ?seed ?w_max ~n ~m ~c () with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Params.make: " ^ msg)
+
+let crash_headroom t = t.n - t.sigma
+
+let bid_levels t = List.init t.w_max (fun i -> i + 1)
+let valid_bid t y = y >= 1 && y <= t.w_max
+let tau_of_bid t y = t.sigma - y
+let bid_of_degree t d = t.sigma - d
+
+let first_price_candidates t =
+  (* {σ − w : w ∈ W} ascending = degrees σ−w_max .. σ−1. *)
+  List.init t.w_max (fun i -> t.sigma - t.w_max + i)
+
+let disclosers t ~y_star = List.init (min t.n (y_star + 1)) Fun.id
+
+let pseudonym_rank t =
+  let order = Array.init t.n Fun.id in
+  Array.sort (fun i j -> Bigint.compare t.alphas.(i) t.alphas.(j)) order;
+  let rank = Array.make t.n 0 in
+  Array.iteri (fun pos i -> rank.(i) <- pos) order;
+  rank
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>DMW parameters: n=%d m=%d c=%d w_max=%d sigma=%d group=%d bits@]"
+    t.n t.m t.c t.w_max t.sigma (Group.bits t.group)

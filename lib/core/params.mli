@@ -1,0 +1,73 @@
+(** Published protocol parameters (paper Phase I).
+
+    One [Params.t] value is what the initialization phase publishes:
+    the group [(p, q, z1, z2)], the fault bound [c], the pseudonym set
+    [A] and the discrete bid set [W = {1, .., w_max}].
+
+    Following the degree-resolution analysis in DESIGN.md, the bid
+    range is [0 < w < n − c] (one level tighter than the paper's
+    [n − c + 1]) so that [σ = w_max + c + 1 ≤ n] and every resolution
+    the protocol performs fits in the [n] available shares. *)
+
+open Dmw_bigint
+open Dmw_modular
+
+type t = private {
+  group : Group.t;
+  n : int;  (** Number of agents (machines). *)
+  m : int;  (** Number of tasks. *)
+  c : int;  (** Maximum number of faulty agents tolerated. *)
+  w_max : int;  (** Largest bid level; [W = {1, .., w_max}]. *)
+  sigma : int;  (** [w_max + c + 1]; degree budget of the encoding. *)
+  alphas : Bigint.t array;  (** Pseudonyms [α_1, .., α_n], distinct, nonzero. *)
+}
+
+val make :
+  ?group_bits:int -> ?seed:int -> ?w_max:int -> n:int -> m:int -> c:int ->
+  unit -> (t, string) result
+(** Validates [n >= 3], [m >= 1], [1 <= c <= n - 2] and that the
+    resulting bid set is non-empty. [w_max] defaults to its maximum,
+    [n - c - 1]; choosing a {e smaller} bid range buys unconditional
+    crash headroom — see {!crash_headroom}. Pseudonyms are drawn at
+    random (distinct, nonzero) from [Z_q^*] using [seed]. [group_bits]
+    defaults to 64 (a pre-generated standard group; see
+    {!Dmw_modular.Group.standard}). *)
+
+val make_exn :
+  ?group_bits:int -> ?seed:int -> ?w_max:int -> n:int -> m:int -> c:int ->
+  unit -> t
+
+val crash_headroom : t -> int
+(** [n − σ]: the number of agents that can go silent {e after} the
+    bidding phase while every degree resolution (which needs at most
+    [σ] shares) remains computable — the quantitative form of the
+    paper's Open Problem 11 discussion. With the default maximal bid
+    range this is 0; each bid level given up buys one crash. The
+    realized tolerance can be higher: an auction whose first price is
+    [y*] only ever needs [σ − y* + 1] shares. *)
+
+val bid_levels : t -> int list
+(** The published set [W], ascending. *)
+
+val valid_bid : t -> int -> bool
+
+val tau_of_bid : t -> int -> int
+(** [τ = σ − y]: the degree in which bid [y] is encoded. *)
+
+val bid_of_degree : t -> int -> int
+(** Inverse of {!tau_of_bid}. *)
+
+val first_price_candidates : t -> int list
+(** Candidate degrees [{σ − w : w ∈ W}] for the resolution of eq. (12),
+    ascending (i.e. highest bid tested first). *)
+
+val disclosers : t -> y_star:int -> int list
+(** Indices of the agents that must disclose their [f]-share rows for
+    winner identification: the first [y* + 1] agents in index order. *)
+
+val pseudonym_rank : t -> int array
+(** [rank.(i)] is the position of [α_i] in the sorted pseudonym order;
+    the paper's tie-break awards the task to the tied agent with the
+    smallest pseudonym. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type t = { n : int; reports : float array option array }
+
+let create ~n = { n; reports = Array.make n None }
+
+let receive t ~from_ payments =
+  if from_ >= 0 && from_ < t.n && t.reports.(from_) = None then
+    if Array.length payments = t.n then
+      t.reports.(from_) <- Some (Array.copy payments)
+
+let reports_received t =
+  Array.fold_left (fun n o -> if Option.is_some o then n + 1 else n) 0 t.reports
+
+let settle t ~quorum =
+  let received = Array.to_list t.reports |> List.filter_map Fun.id in
+  let count = List.length received in
+  Array.init t.n (fun i ->
+      if count < quorum then None
+      else begin
+        match received with
+        | [] -> None
+        | first :: rest ->
+            if List.for_all (fun r -> r.(i) = first.(i)) rest then Some first.(i)
+            else None
+      end)
+
+let settle_all_or_nothing t ~quorum =
+  let entries = settle t ~quorum in
+  if Array.for_all Option.is_some entries then
+    Some (Array.map Option.get entries)
+  else None

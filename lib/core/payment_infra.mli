@@ -1,0 +1,23 @@
+(** The payment infrastructure (paper Phase IV).
+
+    The paper assumes an external payment service that all agents can
+    reach: each agent submits the full payment vector it computed, and
+    the service "issues the payment to [A_i] if the participating
+    agents agree on [P_i]; otherwise, no payment is dispensed". We
+    settle per entry: entry [i] is paid iff at least [quorum] reports
+    arrived and every received report states the same value for [i]. *)
+
+type t
+
+val create : n:int -> t
+val receive : t -> from_:int -> float array -> unit
+(** Later duplicate reports from the same agent are ignored. *)
+
+val reports_received : t -> int
+
+val settle : t -> quorum:int -> float option array
+(** Per-agent settlement; [None] entries are withheld (disagreement or
+    missing quorum). *)
+
+val settle_all_or_nothing : t -> quorum:int -> float array option
+(** The whole vector, provided every entry settled. *)

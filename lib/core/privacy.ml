@@ -1,0 +1,49 @@
+let min_coalition (params : Params.t) ~bid = params.sigma - bid + 1
+let min_coalition_f ~bid = bid + 1
+
+let min_coalition_combined params ~bid =
+  min (min_coalition_f ~bid) (min_coalition params ~bid)
+
+let recover_bid (params : Params.t) ~points ~e_values =
+  let q = params.group.Dmw_modular.Group.q in
+  (* Degrees of valid bid encodings, ascending. *)
+  let candidates =
+    List.map (fun y -> Params.tau_of_bid params y) (Params.bid_levels params)
+    |> List.sort Stdlib.compare
+  in
+  match
+    Dmw_poly.Degree_resolution.resolve ~modulus:q ~points ~values:e_values
+      ~candidates
+  with
+  | Some degree -> Some (Params.bid_of_degree params degree)
+  | None -> None
+
+(* deg f = bid directly (no inversion through sigma). *)
+let recover_bid_f (params : Params.t) ~points ~f_values =
+  let q = params.group.Dmw_modular.Group.q in
+  let candidates = List.sort Stdlib.compare (Params.bid_levels params) in
+  Dmw_poly.Degree_resolution.resolve ~modulus:q ~points ~values:f_values
+    ~candidates
+
+let coalition_shares (params : Params.t) ~coalition ~dealer ~field =
+  let points = Array.of_list (List.map (fun k -> params.alphas.(k)) coalition) in
+  let values =
+    Array.map
+      (fun alpha -> field (Dmw_crypto.Bid_commitments.share_for dealer ~alpha))
+      points
+  in
+  (points, values)
+
+let attack_dealer (params : Params.t) ~coalition ~dealer =
+  let points, e_values =
+    coalition_shares params ~coalition ~dealer
+      ~field:(fun s -> s.Dmw_crypto.Share.e_at)
+  in
+  recover_bid params ~points ~e_values
+
+let attack_dealer_f (params : Params.t) ~coalition ~dealer =
+  let points, f_values =
+    coalition_shares params ~coalition ~dealer
+      ~field:(fun s -> s.Dmw_crypto.Share.f_at)
+  in
+  recover_bid_f params ~points ~f_values

@@ -1,0 +1,52 @@
+(** Coalition attacks on bid privacy (paper Theorem 10).
+
+    A losing agent's bid [y] is encoded in the degree [τ = σ − y] of
+    its polynomial [e]; a coalition that pools the shares it received
+    can resolve that degree iff it holds at least [τ + 1] of them.
+    Consequently the minimum coalition that opens a bid [y] has size
+    [σ − y + 1 ≥ c + 2 > c] — privacy holds below the threshold, and
+    the threshold grows as the bid improves (the inverse relation the
+    paper notes). These functions implement the honest-but-curious
+    attack so that both facts can be verified experimentally. *)
+
+open Dmw_bigint
+
+val min_coalition : Params.t -> bid:int -> int
+(** The analytic threshold for the attack the paper considers
+    (pooling [e]-shares): [σ − bid + 1]. *)
+
+val min_coalition_f : bid:int -> int
+(** Threshold for the [f]-share attack: [bid + 1]. The [f]
+    polynomial's degree {e is} the bid (eq. 3; winner identification
+    needs this), so its shares expose the bid in the {e opposite}
+    direction: the better the bid, the {e cheaper} the attack — a gap
+    in Theorem 10's analysis that this module demonstrates (see
+    EXPERIMENTS.md, second finding). *)
+
+val min_coalition_combined : Params.t -> bid:int -> int
+(** The true threshold, [min (bid + 1) (σ − bid + 1)]: privacy against
+    coalitions of size [c] therefore requires [bid >= c], not just
+    [c] below the resilience bound. *)
+
+val recover_bid :
+  Params.t -> points:Bigint.t array -> e_values:Bigint.t array -> int option
+(** Attempt to recover a victim's bid from pooled [e]-shares
+    [(α_k, e(α_k))]. Succeeds iff the share count reaches the
+    threshold; [None] when the pooled shares underdetermine the
+    degree. *)
+
+val recover_bid_f :
+  Params.t -> points:Bigint.t array -> f_values:Bigint.t array -> int option
+(** The cheaper attack: resolve [deg f = bid] from pooled [f]-shares.
+    Succeeds with [bid + 1] shares. *)
+
+val attack_dealer :
+  Params.t -> coalition:int list -> dealer:Dmw_crypto.Bid_commitments.dealer ->
+  int option
+(** Convenience wrapper: the coalition members pool the [e]-shares the
+    given dealer would send them (the paper's attack model). *)
+
+val attack_dealer_f :
+  Params.t -> coalition:int list -> dealer:Dmw_crypto.Bid_commitments.dealer ->
+  int option
+(** Same coalition, pooling the [f]-shares instead. *)

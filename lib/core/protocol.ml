@@ -1,0 +1,161 @@
+open Dmw_bigint
+module Engine = Dmw_sim.Engine
+module Trace = Dmw_sim.Trace
+
+type agent_status = {
+  agent : int;
+  strategy : Strategy.t;
+  aborted : Audit.reason option;
+  outcomes : Agent.task_outcome option array;
+  checks_performed : int;
+}
+
+type result = {
+  params : Params.t;
+  schedule : Dmw_mechanism.Schedule.t option;
+  first_prices : int array option;
+  second_prices : int array option;
+  payments : float option array;
+  statuses : agent_status array;
+  trace : Trace.t;
+  virtual_duration : float;
+}
+
+let validate_bids (params : Params.t) bids =
+  if Array.length bids <> params.n then invalid_arg "Protocol.run: bids rows <> n";
+  Array.iter
+    (fun row ->
+      if Array.length row <> params.m then
+        invalid_arg "Protocol.run: bids columns <> m";
+      Array.iter
+        (fun y ->
+          if not (Params.valid_bid params y) then
+            invalid_arg "Protocol.run: bid outside W")
+        row)
+    bids
+
+let run ?(strategies = fun _ -> Strategy.Suggested) ?(fault = Dmw_sim.Fault.none)
+    ?(seed = 42) ?(keep_events = true) ?(batching = false) ?(hardened = false)
+    ?latency ?bandwidth ?jitter ?duplicate (params : Params.t) ~bids =
+  validate_bids params bids;
+  let n = params.n in
+  let latency =
+    Option.map (fun (l : Dmw_sim.Latency.t) -> fun ~src ~dst -> l ~src ~dst) latency
+  in
+  (* Node n is the payment infrastructure. *)
+  let eng =
+    Engine.create ~seed ~fault ~keep_events ?latency ?bandwidth ?jitter
+      ?duplicate ~nodes:(n + 1) ()
+  in
+  let master_rng = Prng.create ~seed:(seed lxor 0xA6E77) in
+  let agents =
+    Array.init n (fun i ->
+        Agent.create ~batching ~hardened ~params ~id:i ~bids:bids.(i)
+          ~strategy:(strategies i)
+          ~rng:(Prng.split master_rng) ())
+  in
+  let infra = Payment_infra.create ~n in
+  let transports =
+    Array.init n (fun i -> Agent.transport_of_engine eng ~id:i)
+  in
+  for i = 0 to n - 1 do
+    Engine.on_message eng ~node:i (fun _ d ->
+        Agent.handle transports.(i) agents.(i) ~src:d.Engine.src
+          d.Engine.payload)
+  done;
+  Engine.on_message eng ~node:n (fun _ d ->
+      match d.Engine.payload with
+      | Messages.Payment_report { payments } ->
+          Payment_infra.receive infra ~from_:d.Engine.src payments
+      | _ -> ());
+  Engine.at eng ~time:0.0 (fun () ->
+      Array.iteri (fun i a -> Agent.start transports.(i) a) agents);
+  Engine.run eng;
+  Array.iter Agent.finalize_stall agents;
+  let statuses =
+    Array.map
+      (fun a ->
+        { agent = Agent.id a;
+          strategy = Agent.strategy a;
+          aborted = Agent.aborted a;
+          outcomes = Agent.outcomes a;
+          checks_performed = Audit.checks_performed (Agent.audit a) })
+      agents
+  in
+  let schedule = Agent.consensus agents ~c:params.c in
+  let first_prices, second_prices =
+    match schedule with
+    | None -> (None, None)
+    | Some _ ->
+        (* Consensus established: any resolved agent's view is the view. *)
+        let a =
+          Array.to_list agents
+          |> List.find (fun a ->
+                 Agent.aborted a = None
+                 && Array.for_all Option.is_some (Agent.outcomes a))
+        in
+        let outcomes = Array.map Option.get (Agent.outcomes a) in
+        ( Some (Array.map (fun (o : Agent.task_outcome) -> o.y_star) outcomes),
+          Some (Array.map (fun (o : Agent.task_outcome) -> o.y_star2) outcomes) )
+  in
+  let payments = Payment_infra.settle infra ~quorum:(n - params.c) in
+  { params;
+    schedule;
+    first_prices;
+    second_prices;
+    payments;
+    statuses;
+    trace = Engine.trace eng;
+    (* The engine's final clock includes trailing no-op timeout checks;
+       the last transmitted message marks actual protocol activity. *)
+    virtual_duration = Trace.last_time (Engine.trace eng) }
+
+let completed r =
+  Option.is_some r.schedule && Array.for_all Option.is_some r.payments
+
+let utility r ~true_levels ~agent =
+  match r.schedule with
+  | None -> 0.0
+  | Some schedule ->
+      let pay = Option.value ~default:0.0 r.payments.(agent) in
+      let cost =
+        List.fold_left
+          (fun acc j -> acc +. float_of_int true_levels.(agent).(j))
+          0.0
+          (Dmw_mechanism.Schedule.tasks_of schedule ~agent)
+      in
+      pay -. cost
+
+let utilities r ~true_levels =
+  Array.init r.params.Params.n (fun agent -> utility r ~true_levels ~agent)
+
+let pp_summary fmt r =
+  Format.fprintf fmt "@[<v>%a@," Params.pp r.params;
+  (match r.schedule with
+  | None ->
+      Format.fprintf fmt "protocol did not complete@,";
+      Array.iter
+        (fun s ->
+          match s.aborted with
+          | Some reason ->
+              Format.fprintf fmt "  agent %d (%s): %a@," s.agent
+                (Strategy.to_string s.strategy)
+                Audit.pp_reason reason
+          | None -> ())
+        r.statuses
+  | Some schedule ->
+      Format.fprintf fmt "%a" Dmw_mechanism.Schedule.pp schedule;
+      (match (r.first_prices, r.second_prices) with
+      | Some fp, Some sp ->
+          Array.iteri
+            (fun j y -> Format.fprintf fmt "T%d: y* = %d, y** = %d@," (j + 1) y sp.(j))
+            fp
+      | _ -> ());
+      Array.iteri
+        (fun i p ->
+          match p with
+          | Some p -> Format.fprintf fmt "P%d = %.1f@," (i + 1) p
+          | None -> Format.fprintf fmt "P%d withheld@," (i + 1))
+        r.payments);
+  Format.fprintf fmt "messages = %d, bytes = %d, virtual time = %.3f s@]"
+    (Trace.messages r.trace) (Trace.bytes r.trace) r.virtual_duration

@@ -1,0 +1,69 @@
+(** Running the full DMW mechanism over the simulator.
+
+    Instantiates one {!Agent} per machine plus the payment
+    infrastructure, wires them to a {!Dmw_sim.Engine}, runs to
+    quiescence, and distils the result: the consensus schedule (when
+    the honest agents agree end-to-end), the payments the
+    infrastructure issued, each agent's final status, and the full
+    message trace for the complexity experiments. *)
+
+
+type agent_status = {
+  agent : int;
+  strategy : Strategy.t;
+  aborted : Audit.reason option;
+  outcomes : Agent.task_outcome option array;
+  checks_performed : int;
+}
+
+type result = {
+  params : Params.t;
+  schedule : Dmw_mechanism.Schedule.t option;
+      (** Present iff every non-deviating agent resolved every auction
+          and they all agree. *)
+  first_prices : int array option;  (** [y*_j] per task. *)
+  second_prices : int array option; (** [y**_j] per task. *)
+  payments : float option array;
+      (** What the payment infrastructure issued, per agent. *)
+  statuses : agent_status array;
+  trace : Dmw_sim.Trace.t;
+  virtual_duration : float;
+      (** Simulated seconds until the last protocol message was sent
+          (trailing no-op timer events excluded). *)
+}
+
+val run :
+  ?strategies:(int -> Strategy.t) ->
+  ?fault:Dmw_sim.Fault.t ->
+  ?seed:int ->
+  ?keep_events:bool ->
+  ?batching:bool ->
+  ?hardened:bool ->
+  ?latency:Dmw_sim.Latency.t ->
+  ?bandwidth:float ->
+  ?jitter:float ->
+  ?duplicate:float ->
+  Params.t ->
+  bids:int array array ->
+  result
+(** [bids.(i).(j)] is agent [i]'s bid level for task [j] (each in the
+    published set [W]). [strategies] defaults to everyone following
+    [χ_suggest]. [batching] (default false) packs all messages a
+    protocol step emits for one destination into a single
+    {!Messages.Batch} envelope. [hardened] (default false) switches
+    Phase III.3 to per-entry-verified disclosures
+    ({!Messages.F_disclosure_hardened}). *)
+
+val completed : result -> bool
+(** True when a consensus schedule and full payments exist. *)
+
+val utility : result -> true_levels:int array array -> agent:int -> float
+(** Realized utility [U_i = P_i + V_i] (Def. 2 / Def. 6): issued
+    payment minus the true total processing time of the tasks the
+    schedule assigns to [i]. Zero when the protocol did not complete
+    (no allocation happens, no payment flows) or the agent's payment
+    was withheld while nothing was assigned to it. *)
+
+val utilities : result -> true_levels:int array array -> float array
+
+val pp_summary : Format.formatter -> result -> unit

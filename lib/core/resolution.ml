@@ -1,0 +1,80 @@
+open Dmw_bigint
+open Dmw_modular
+open Dmw_crypto
+
+let resolve_price (params : Params.t) elements =
+  match
+    Exponent_resolution.resolve params.group ~points:params.alphas ~elements
+      ~candidates:(Params.first_price_candidates params)
+  with
+  | Some degree -> Some (Params.bid_of_degree params degree)
+  | None -> None
+
+let first_price params ~lambdas = resolve_price params lambdas
+let second_price params ~lambdas_excl = resolve_price params lambdas_excl
+
+let winner (params : Params.t) ~y_star ~rows =
+  let needed = y_star + 1 in
+  let rows = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows in
+  if List.length rows < needed then None
+  else begin
+    let rows = List.filteri (fun i _ -> i < needed) rows in
+    let points = Array.of_list (List.map (fun (k, _) -> params.alphas.(k)) rows) in
+    let q = params.group.Group.q in
+    let passes i =
+      let values = Array.of_list (List.map (fun (_, row) -> row.(i)) rows) in
+      Dmw_poly.Degree_resolution.test ~modulus:q ~points ~values ~candidate:y_star
+    in
+    let winners = List.filter passes (List.init params.n Fun.id) in
+    match winners with
+    | [] -> None
+    | first :: rest ->
+        (* Smallest pseudonym among the tied winners (Phase III.3). *)
+        Some
+          (List.fold_left
+             (fun best i ->
+               if Bigint.compare params.alphas.(i) params.alphas.(best) < 0 then i
+               else best)
+             first rest)
+  end
+
+let aggregate (params : Params.t) ~publics =
+  Bid_commitments.aggregate params.group publics
+
+let verify_lambda_psi (params : Params.t) ~agg ~k ~lambda ~psi =
+  let v = Bid_commitments.gamma_phi_agg params.group agg ~alpha:params.alphas.(k) in
+  Exponent_resolution.check_lambda_psi params.group
+    ~gammas:[ v.Bid_commitments.gamma ] ~lambda ~psi
+
+let verify_lambda_psi_excl (params : Params.t) ~agg_excl ~k ~lambda ~psi =
+  let v =
+    Bid_commitments.gamma_phi_agg params.group agg_excl ~alpha:params.alphas.(k)
+  in
+  Exponent_resolution.check_lambda_psi params.group
+    ~gammas:[ v.Bid_commitments.gamma ] ~lambda ~psi
+
+let verify_disclosure_hardened (params : Params.t) ~publics ~k ~f_row ~h_row =
+  let alpha = params.alphas.(k) in
+  let n = Array.length publics in
+  Array.length f_row = n
+  && Array.length h_row = n
+  && (let ok = ref true in
+      for i = 0 to n - 1 do
+        if !ok then begin
+          let v = Bid_commitments.gamma_phi params.group publics.(i) ~alpha in
+          if
+            not
+              (Dmw_modular.Group.equal
+                 (Dmw_modular.Group.commit params.group f_row.(i) h_row.(i))
+                 v.Bid_commitments.phi)
+          then ok := false
+        end
+      done;
+      !ok)
+
+let verify_disclosure (params : Params.t) ~agg ~k ~f_row ~psi =
+  let q = params.group.Group.q in
+  let f_sum_at = Array.fold_left (fun acc v -> Zmod.add q acc v) Bigint.zero f_row in
+  let v = Bid_commitments.gamma_phi_agg params.group agg ~alpha:params.alphas.(k) in
+  Exponent_resolution.check_f_disclosure params.group
+    ~phis:[ v.Bid_commitments.phi ] ~f_sum_at ~psi

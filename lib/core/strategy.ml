@@ -1,0 +1,48 @@
+type t =
+  | Suggested
+  | Corrupt_share_to of int
+  | Withhold_share_from of int
+  | Withhold_commitments
+  | Corrupt_commitments
+  | Wrong_lambda
+  | Crash_after_bidding
+  | Withhold_disclosure
+  | Over_disclose
+  | Corrupt_disclosure
+  | Swap_disclosure
+  | Swap_disclosure_pairs
+  | Wrong_lambda_excl
+  | Inflate_payment of float
+
+let all_deviations ~victim =
+  [ Corrupt_share_to victim;
+    Withhold_share_from victim;
+    Withhold_commitments;
+    Corrupt_commitments;
+    Wrong_lambda;
+    Crash_after_bidding;
+    Withhold_disclosure;
+    Over_disclose;
+    Corrupt_disclosure;
+    Swap_disclosure;
+    Swap_disclosure_pairs;
+    Wrong_lambda_excl;
+    Inflate_payment 10.0 ]
+
+let is_suggested = function Suggested -> true | _ -> false
+
+let to_string = function
+  | Suggested -> "suggested"
+  | Corrupt_share_to v -> Printf.sprintf "corrupt_share_to(%d)" v
+  | Withhold_share_from v -> Printf.sprintf "withhold_share_from(%d)" v
+  | Withhold_commitments -> "withhold_commitments"
+  | Corrupt_commitments -> "corrupt_commitments"
+  | Wrong_lambda -> "wrong_lambda"
+  | Crash_after_bidding -> "crash_after_bidding"
+  | Withhold_disclosure -> "withhold_disclosure"
+  | Over_disclose -> "over_disclose"
+  | Corrupt_disclosure -> "corrupt_disclosure"
+  | Swap_disclosure -> "swap_disclosure"
+  | Swap_disclosure_pairs -> "swap_disclosure_pairs"
+  | Wrong_lambda_excl -> "wrong_lambda_excl"
+  | Inflate_payment d -> Printf.sprintf "inflate_payment(%+.1f)" d

@@ -1,0 +1,58 @@
+(** The strategy space of the distributed mechanism (paper §2.3).
+
+    [Suggested] is [χ_suggest], the behaviour specified by the DMW
+    protocol. The other constructors are {e computational-action}
+    deviations (Def. 15) used by the faithfulness and
+    strong-voluntary-participation experiments: each tampers with one
+    specific protocol step while leaving the rest of the agent honest,
+    mirroring the case analysis in the proof of Theorem 4.
+
+    Information-revelation deviations (bidding [y ≠ t]) are expressed
+    by changing the bid vector handed to the agent, not by a
+    constructor here — exactly as in the paper, where they are covered
+    by the truthfulness of the centralized mechanism (Theorem 2). *)
+
+type t =
+  | Suggested
+  | Corrupt_share_to of int
+      (** Send a random (inconsistent) share bundle to one victim. *)
+  | Withhold_share_from of int
+      (** Never send the victim its share. *)
+  | Withhold_commitments
+      (** Publish no commitment vectors. *)
+  | Corrupt_commitments
+      (** Publish random group elements as commitments. *)
+  | Wrong_lambda
+      (** Publish a random [Λ_i] in Phase III.2. *)
+  | Crash_after_bidding
+      (** Follow Phase II, then go silent. *)
+  | Withhold_disclosure
+      (** Stay silent when selected as an [f]-share discloser. *)
+  | Over_disclose
+      (** Publish the [f]-share row even when not selected (the paper
+          notes this is harmless — Theorem 4). *)
+  | Corrupt_disclosure
+      (** Publish a random [f]-share row when selected. *)
+  | Swap_disclosure
+      (** Publish the true row with two entries swapped: the row still
+          satisfies the sum check of eq. (13) — this probes a
+          verification gap the paper does not discuss; the protocol
+          still catches it, at winner resolution instead (see
+          EXPERIMENTS.md). *)
+  | Swap_disclosure_pairs
+      (** The strongest disclosure forgery: swap two {e (f, h) pairs}
+          consistently, so even each entry's own commitment shape is
+          internally plausible. Hardened verification still catches it
+          because each entry is checked against {e its dealer's}
+          commitments, which the swap cannot satisfy. *)
+  | Wrong_lambda_excl
+      (** Publish a random second-price [Λ̄_i] in Phase III.4. *)
+  | Inflate_payment of float
+      (** Report its own payment entry inflated by the given amount. *)
+
+val all_deviations : victim:int -> t list
+(** One representative of every deviating constructor (for sweeps);
+    [victim] parameterizes the targeted ones. *)
+
+val is_suggested : t -> bool
+val to_string : t -> string

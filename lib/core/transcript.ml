@@ -1,0 +1,168 @@
+open Dmw_bigint
+open Dmw_modular
+open Dmw_crypto
+
+type t = {
+  publics : Bid_commitments.public array;
+  lambda_psi : (Group.elt * Group.elt) array;
+  disclosures : (int * Bigint.t array) list;
+  lambda_psi_excl : (Group.elt * Group.elt) array;
+}
+
+type verdict = {
+  winner : int;
+  y_star : int;
+  y_star2 : int;
+  checks : int;
+}
+
+type error =
+  | Invalid_lambda_psi of int
+  | Invalid_disclosure of int
+  | Invalid_lambda_psi_excl of int
+  | No_first_price
+  | No_winner
+  | No_second_price
+  | Malformed of string
+
+let pp_error fmt = function
+  | Invalid_lambda_psi k -> Format.fprintf fmt "eq. (11) fails for agent %d" k
+  | Invalid_disclosure k -> Format.fprintf fmt "eq. (13) fails for discloser %d" k
+  | Invalid_lambda_psi_excl k ->
+      Format.fprintf fmt "winner-excluded eq. (11) fails for agent %d" k
+  | No_first_price -> Format.fprintf fmt "first-price resolution fails"
+  | No_winner -> Format.fprintf fmt "winner identification fails"
+  | No_second_price -> Format.fprintf fmt "second-price resolution fails"
+  | Malformed what -> Format.fprintf fmt "malformed transcript: %s" what
+
+let of_direct ?(seed = 42) (params : Params.t) ~bids =
+  let n = params.n in
+  if Array.length bids <> n then invalid_arg "Transcript.of_direct: bids length";
+  let rng = Prng.create ~seed:(seed lxor 0x7A5C) in
+  let q = params.group.Group.q in
+  let dealers =
+    Array.map
+      (fun y ->
+        Bid_commitments.generate rng ~group:params.group ~sigma:params.sigma
+          ~tau:(Params.tau_of_bid params y))
+      bids
+  in
+  let share i k = Bid_commitments.share_for dealers.(i) ~alpha:params.alphas.(k) in
+  let publics = Array.map (fun d -> d.Bid_commitments.public) dealers in
+  let sums k =
+    Array.fold_left
+      (fun (e, h) i ->
+        let s = share i k in
+        (Zmod.add q e s.Share.e_at, Zmod.add q h s.Share.h_at))
+      (Bigint.zero, Bigint.zero)
+      (Array.init n Fun.id)
+  in
+  let lambda_psi =
+    Array.init n (fun k ->
+        let esum, hsum = sums k in
+        (Exponent_resolution.lambda params.group ~e_sum_at:esum,
+         Exponent_resolution.psi params.group ~h_sum_at:hsum))
+  in
+  let lambdas = Array.map fst lambda_psi in
+  let y_star =
+    match Resolution.first_price params ~lambdas with
+    | Some y -> y
+    | None -> failwith "Transcript.of_direct: resolution failed"
+  in
+  let disclosures =
+    List.map
+      (fun k -> (k, Array.init n (fun i -> (share i k).Share.f_at)))
+      (Params.disclosers params ~y_star)
+  in
+  let winner =
+    match Resolution.winner params ~y_star ~rows:disclosures with
+    | Some w -> w
+    | None -> failwith "Transcript.of_direct: winner failed"
+  in
+  let lambda_psi_excl =
+    Array.mapi
+      (fun k (lambda, psi) ->
+        let s = share winner k in
+        (Group.div params.group lambda
+           (Group.pow params.group params.group.Group.z1 s.Share.e_at),
+         Group.div params.group psi
+           (Group.pow params.group params.group.Group.z2 s.Share.h_at)))
+      lambda_psi
+  in
+  { publics; lambda_psi; disclosures; lambda_psi_excl }
+
+let audit (params : Params.t) t =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let n = params.n in
+  let* () =
+    if Array.length t.publics <> n then Error (Malformed "publics length")
+    else if Array.length t.lambda_psi <> n then Error (Malformed "lambda_psi length")
+    else if Array.length t.lambda_psi_excl <> n then
+      Error (Malformed "lambda_psi_excl length")
+    else if
+      List.exists
+        (fun (k, row) -> k < 0 || k >= n || Array.length row <> n)
+        t.disclosures
+    then Error (Malformed "disclosure row")
+    else Ok ()
+  in
+  let checks = ref 0 in
+  let agg = Resolution.aggregate params ~publics:t.publics in
+  (* eq. (11) for every published pair. *)
+  let rec check_pairs k =
+    if k = n then Ok ()
+    else begin
+      let lambda, psi = t.lambda_psi.(k) in
+      incr checks;
+      if Resolution.verify_lambda_psi params ~agg ~k ~lambda ~psi then
+        check_pairs (k + 1)
+      else Error (Invalid_lambda_psi k)
+    end
+  in
+  let* () = check_pairs 0 in
+  (* First price. *)
+  let lambdas = Array.map fst t.lambda_psi in
+  let* y_star =
+    match Resolution.first_price params ~lambdas with
+    | Some y -> Ok y
+    | None -> Error No_first_price
+  in
+  (* eq. (13) for every disclosed row. *)
+  let rec check_rows = function
+    | [] -> Ok ()
+    | (k, f_row) :: rest ->
+        incr checks;
+        let _, psi = t.lambda_psi.(k) in
+        if Resolution.verify_disclosure params ~agg ~k ~f_row ~psi then
+          check_rows rest
+        else Error (Invalid_disclosure k)
+  in
+  let* () = check_rows t.disclosures in
+  let* winner =
+    match Resolution.winner params ~y_star ~rows:t.disclosures with
+    | Some w -> Ok w
+    | None -> Error No_winner
+  in
+  (* Winner-excluded pairs. *)
+  let agg_excl =
+    Bid_commitments.aggregate_exclude params.group agg t.publics.(winner)
+  in
+  let rec check_excl k =
+    if k = n then Ok ()
+    else begin
+      let lambda, psi = t.lambda_psi_excl.(k) in
+      incr checks;
+      if Resolution.verify_lambda_psi_excl params ~agg_excl ~k ~lambda ~psi then
+        check_excl (k + 1)
+      else Error (Invalid_lambda_psi_excl k)
+    end
+  in
+  let* () = check_excl 0 in
+  let* y_star2 =
+    match
+      Resolution.second_price params ~lambdas_excl:(Array.map fst t.lambda_psi_excl)
+    with
+    | Some y -> Ok y
+    | None -> Error No_second_price
+  in
+  Ok { winner; y_star; y_star2; checks = !checks }

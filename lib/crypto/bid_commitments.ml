@@ -1,0 +1,139 @@
+open Dmw_bigint
+open Dmw_modular
+open Dmw_poly
+
+type public = {
+  o : Pedersen.t array;
+  qv : Pedersen.t array;
+  r : Pedersen.t array;
+}
+
+type dealer = {
+  e : Poly.t;
+  f : Poly.t;
+  g : Poly.t;
+  h : Poly.t;
+  sigma : int;
+  tau : int;
+  public : public;
+}
+
+let generate rng ~group ~sigma ~tau =
+  if tau < 1 || tau > sigma - 1 then
+    invalid_arg "Bid_commitments.generate: need 1 <= tau <= sigma - 1";
+  let q = group.Group.q in
+  let e = Poly.random rng ~modulus:q ~degree:tau ~zero_constant:true in
+  let f = Poly.random rng ~modulus:q ~degree:(sigma - tau) ~zero_constant:true in
+  let g = Poly.random rng ~modulus:q ~degree:sigma ~zero_constant:true in
+  let h = Poly.random rng ~modulus:q ~degree:sigma ~zero_constant:true in
+  let v = Poly.mul e f in
+  (* Commitment slots are indexed 1..σ; the x^0 coefficient of every
+     polynomial is zero by construction so slot ℓ holds coefficient ℓ. *)
+  let o =
+    Array.init sigma (fun i ->
+        Pedersen.commit group ~value:(Poly.coeff v (i + 1))
+          ~blinding:(Poly.coeff g (i + 1)))
+  in
+  let qv =
+    Array.init sigma (fun i ->
+        let l = i + 1 in
+        if l <= tau then
+          Pedersen.commit group ~value:(Poly.coeff e l)
+            ~blinding:(Poly.coeff h l)
+        else Pedersen.blind_only group ~blinding:(Poly.coeff h l))
+  in
+  let r =
+    Array.init sigma (fun i ->
+        let l = i + 1 in
+        if l <= sigma - tau then
+          Pedersen.commit group ~value:(Poly.coeff f l)
+            ~blinding:(Poly.coeff h l)
+        else Pedersen.blind_only group ~blinding:(Poly.coeff h l))
+  in
+  { e; f; g; h; sigma; tau; public = { o; qv; r } }
+
+let share_for d ~alpha =
+  { Share.e_at = Poly.eval d.e alpha;
+    f_at = Poly.eval d.f alpha;
+    g_at = Poly.eval d.g alpha;
+    h_at = Poly.eval d.h alpha }
+
+type verified = { gamma : Group.elt; phi : Group.elt }
+
+type error =
+  | Product_check_failed
+  | E_check_failed
+  | F_check_failed
+
+(* Π_ℓ C_ℓ^{α^ℓ} for a commitment vector C — the right-hand side shape
+   shared by eqs. (7), (8) and (9). *)
+let fold_vector group vec ~alpha =
+  let q = group.Group.q in
+  let acc = ref (Pedersen.of_element Group.one) and power = ref Bigint.one in
+  Array.iter
+    (fun c ->
+      power := Dmw_modular.Zmod.mul q !power alpha;
+      acc := Pedersen.mul group !acc (Pedersen.pow group c !power))
+    vec;
+  Pedersen.to_element !acc
+
+let gamma_phi group public ~alpha =
+  { gamma = fold_vector group public.qv ~alpha;
+    phi = fold_vector group public.r ~alpha }
+
+let verify_share group public ~alpha (s : Share.t) =
+  let q = group.Group.q in
+  (* eq. (7): z1^{e(α)f(α)} z2^{g(α)} = Π O_ℓ^{α^ℓ}. *)
+  let lhs7 =
+    Group.commit group (Dmw_modular.Zmod.mul q s.e_at s.f_at) s.g_at
+  in
+  if not (Group.equal lhs7 (fold_vector group public.o ~alpha)) then
+    Error Product_check_failed
+  else begin
+    let { gamma; phi } = gamma_phi group public ~alpha in
+    (* eq. (8): z1^{e(α)} z2^{h(α)} = Γ. *)
+    if not (Group.equal (Group.commit group s.e_at s.h_at) gamma) then
+      Error E_check_failed
+      (* eq. (9): z1^{f(α)} z2^{h(α)} = Φ. *)
+    else if not (Group.equal (Group.commit group s.f_at s.h_at) phi) then
+      Error F_check_failed
+    else Ok { gamma; phi }
+  end
+
+type aggregate = {
+  q_bar : Pedersen.t array;
+  r_bar : Pedersen.t array;
+}
+
+let aggregate group publics =
+  match Array.to_list publics with
+  | [] -> invalid_arg "Bid_commitments.aggregate: no publics"
+  | first :: rest ->
+      let combine get =
+        List.fold_left
+          (fun acc p -> Array.map2 (Pedersen.mul group) acc (get p))
+          (Array.copy (get first))
+          rest
+      in
+      { q_bar = combine (fun p -> p.qv); r_bar = combine (fun p -> p.r) }
+
+let aggregate_exclude group agg public =
+  let divide bar vec =
+    Array.map2
+      (fun b v ->
+        Pedersen.of_element
+          (Group.div group (Pedersen.to_element b) (Pedersen.to_element v)))
+      bar vec
+  in
+  { q_bar = divide agg.q_bar public.qv; r_bar = divide agg.r_bar public.r }
+
+let gamma_phi_agg group agg ~alpha =
+  { gamma = fold_vector group agg.q_bar ~alpha;
+    phi = fold_vector group agg.r_bar ~alpha }
+
+let public_byte_size group ~sigma = 3 * sigma * Pedersen.byte_size group
+
+let pp_error fmt = function
+  | Product_check_failed -> Format.pp_print_string fmt "product check (eq. 7) failed"
+  | E_check_failed -> Format.pp_print_string fmt "e-polynomial check (eq. 8) failed"
+  | F_check_failed -> Format.pp_print_string fmt "f-polynomial check (eq. 9) failed"

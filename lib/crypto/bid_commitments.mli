@@ -1,0 +1,101 @@
+(** Bid polynomials and their commitment vectors (paper Phase II).
+
+    For an auction with parameter [σ = w_k + c + 1], an agent bidding
+    [y] (so [τ = σ − y]) samples four random polynomials with zero
+    constant term (eq. (3)):
+
+    - [e] of degree [τ] — the bid, encoded in the degree;
+    - [f] of degree [σ − τ = y] — the witness used to prove victory;
+    - [g], [h] of degree [σ] — blinding polynomials.
+
+    and publishes three length-[σ] commitment vectors (paper, Phase II
+    step 3):
+
+    - [O_ℓ = z1^{v_ℓ} z2^{c_ℓ}] where [v = coeffs (e·f)], [c = coeffs g];
+    - [Q_ℓ = z1^{a_ℓ} z2^{d_ℓ}] for [ℓ ≤ τ], [z2^{d_ℓ}] above, where
+      [a = coeffs e], [d = coeffs h];
+    - [R_ℓ = z1^{b_ℓ} z2^{d_ℓ}] for [ℓ ≤ σ−τ], [z2^{d_ℓ}] above, where
+      [b = coeffs f].
+
+    A receiver holding the share bundle at its pseudonym [α] verifies
+    eqs. (7)–(9); the byproducts [Γ = z1^{e(α)} z2^{h(α)}] and
+    [Φ = z1^{f(α)} z2^{h(α)}] feed the consistency checks (11) and
+    (13) of Phase III. *)
+
+open Dmw_bigint
+open Dmw_modular
+
+type public = {
+  o : Pedersen.t array; (** [O_{ℓ}], index [ℓ-1], length [σ]. *)
+  qv : Pedersen.t array; (** [Q_{ℓ}]. *)
+  r : Pedersen.t array; (** [R_{ℓ}]. *)
+}
+
+type dealer = {
+  e : Dmw_poly.Poly.t;
+  f : Dmw_poly.Poly.t;
+  g : Dmw_poly.Poly.t;
+  h : Dmw_poly.Poly.t;
+  sigma : int;
+  tau : int;
+  public : public;
+}
+
+val generate :
+  Prng.t -> group:Group.t -> sigma:int -> tau:int -> dealer
+(** Sample the polynomial bundle and build the commitment vectors.
+    Requires [1 <= tau <= sigma - 1]. *)
+
+val share_for : dealer -> alpha:Bigint.t -> Share.t
+(** The share bundle destined for pseudonym [alpha]. *)
+
+type verified = { gamma : Group.elt; phi : Group.elt }
+(** [Γ^j_{i,k}] and [Φ^j_{i,k}] of eqs. (8)–(9), retained by the
+    verifier for the later checks. *)
+
+type error =
+  | Product_check_failed  (** eq. (7) *)
+  | E_check_failed  (** eq. (8) *)
+  | F_check_failed  (** eq. (9) *)
+
+val verify_share :
+  Group.t -> public -> alpha:Bigint.t -> Share.t -> (verified, error) result
+(** Receiver-side verification of a share bundle against the published
+    commitments: eqs. (7), (8), (9). *)
+
+val gamma_phi : Group.t -> public -> alpha:Bigint.t -> verified
+(** [Γ] and [Φ] computed from the public commitments alone (the
+    right-hand sides of eqs. (8)–(9)); used by third parties that hold
+    no share, e.g. when checking eq. (11) for other pseudonyms. *)
+
+(** {2 Aggregated verification}
+
+    Eq. (11) must be checked for every agent's [(Λ, Ψ)] pair, and
+    recomputing [Γ_{i,ℓ}] per (verifier, dealer) pair would cost
+    [O(n³ log p)] per agent per task — an [n] factor above Table 1's
+    accounting. Because commitments are multiplicatively homomorphic,
+    the slot-wise products [Q̄_s = Π_ℓ Q_{ℓ,s}] and [R̄_s = Π_ℓ R_{ℓ,s}]
+    can be formed once per auction in [Θ(nσ)] multiplications, after
+    which each check is a single [σ]-term evaluation:
+    [Π_ℓ Γ_{i,ℓ} = Π_s Q̄_s^{α_i^s}]. This restores the
+    [O(mn² log p)] bound of Theorem 12. *)
+
+type aggregate = {
+  q_bar : Pedersen.t array;  (** [Q̄_s], slot-wise product over dealers. *)
+  r_bar : Pedersen.t array;  (** [R̄_s]. *)
+}
+
+val aggregate : Group.t -> public array -> aggregate
+
+val aggregate_exclude : Group.t -> aggregate -> public -> aggregate
+(** Divide one dealer's vectors out of the aggregate (Phase III.4
+    excludes the winner). *)
+
+val gamma_phi_agg : Group.t -> aggregate -> alpha:Bigint.t -> verified
+(** [Γ̄(α) = Π_ℓ Γ_ℓ(α)] and [Φ̄(α) = Π_ℓ Φ_ℓ(α)] in [σ]
+    exponentiations. *)
+
+val public_byte_size : Group.t -> sigma:int -> int
+(** Wire size of the published commitment vectors ([3σ] elements). *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,42 @@
+open Dmw_modular
+open Dmw_poly
+
+let test group ~points ~elements ~candidate =
+  if candidate < 0 then invalid_arg "Exponent_resolution.test: negative candidate";
+  let s = candidate + 1 in
+  if s > Array.length points || s > Array.length elements then
+    invalid_arg "Exponent_resolution.test: not enough points";
+  let rho = Lagrange.rho ~modulus:group.Group.q (Array.sub points 0 s) in
+  let acc = ref Group.one in
+  for k = 0 to s - 1 do
+    acc := Group.mul group !acc (Group.pow group elements.(k) rho.(k))
+  done;
+  Group.equal !acc Group.one
+
+let resolve group ~points ~elements ~candidates =
+  let n = min (Array.length points) (Array.length elements) in
+  let usable = List.filter (fun c -> c >= 0 && c + 1 <= n) candidates in
+  let sorted = List.sort_uniq Stdlib.compare usable in
+  List.find_opt (fun candidate -> test group ~points ~elements ~candidate) sorted
+
+let resolve_present group ~points ~elements ~candidates =
+  let present =
+    List.filter_map
+      (fun k -> Option.map (fun e -> (points.(k), e)) elements.(k))
+      (List.init (min (Array.length points) (Array.length elements)) Fun.id)
+  in
+  let points = Array.of_list (List.map fst present) in
+  let elements = Array.of_list (List.map snd present) in
+  resolve group ~points ~elements ~candidates
+
+let lambda group ~e_sum_at = Group.pow group group.Group.z1 e_sum_at
+let psi group ~h_sum_at = Group.pow group group.Group.z2 h_sum_at
+
+let check_lambda_psi group ~gammas ~lambda ~psi =
+  let prod = List.fold_left (Group.mul group) Group.one gammas in
+  Group.equal prod (Group.mul group lambda psi)
+
+let check_f_disclosure group ~phis ~f_sum_at ~psi =
+  let prod = List.fold_left (Group.mul group) Group.one phis in
+  let lhs = Group.mul group (Group.pow group group.Group.z1 f_sum_at) psi in
+  Group.equal lhs prod

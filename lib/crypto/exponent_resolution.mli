@@ -1,0 +1,59 @@
+(** Degree resolution in the exponent (paper Phase III, eqs. 10–13).
+
+    After verification, each agent [A_i] publishes
+    [Λ_i = z1^{E(α_i)}] and [Ψ_i = z2^{H(α_i)}] where
+    [E = Σ_ℓ e_ℓ] and [H = Σ_ℓ h_ℓ]. Nobody knows [E] itself, but the
+    degree of [E] — which encodes the minimum bid — can be resolved by
+    performing the Lagrange zero-test of {!Dmw_poly.Degree_resolution}
+    on the exponents: for candidate degree [d],
+
+    {v Π_{k=1}^{d+1} Λ_k^{ρ_k} = z1^{E^{(d+1)}(0)} = 1  iff  deg E ≤ d v}
+
+    (except with probability 1/q). The same convention note as
+    {!Dmw_poly.Degree_resolution} applies: testing degree [d] uses
+    [d+1] points. *)
+
+open Dmw_bigint
+open Dmw_modular
+
+val test :
+  Group.t -> points:Bigint.t array -> elements:Group.elt array ->
+  candidate:int -> bool
+(** [test g ~points ~elements ~candidate] checks [deg E <= candidate]
+    where [elements.(k) = z1^{E(points.(k))}]. Uses the first
+    [candidate + 1] entries. *)
+
+val resolve :
+  Group.t -> points:Bigint.t array -> elements:Group.elt array ->
+  candidates:int list -> int option
+(** Smallest candidate (ascending) whose {!test} succeeds. *)
+
+val resolve_present :
+  Group.t -> points:Bigint.t array -> elements:Group.elt option array ->
+  candidates:int list -> int option
+(** {!resolve} over the available subset: [elements.(k) = None] marks a
+    crashed or silent agent whose [Λ_k] never arrived. Degree [d] is
+    testable whenever at least [d + 1] elements are present; this is
+    what makes the mechanism computable while enough agents obey the
+    protocol (the paper's discussion of Open Problem 11). The present
+    entries are taken in index order, so all correct agents that hold
+    the same set resolve identically. *)
+
+val lambda : Group.t -> e_sum_at:Bigint.t -> Group.elt
+(** [Λ_i = z1^{E(α_i)}] (eq. 10, left). *)
+
+val psi : Group.t -> h_sum_at:Bigint.t -> Group.elt
+(** [Ψ_i = z2^{H(α_i)}] (eq. 10, right). *)
+
+val check_lambda_psi :
+  Group.t -> gammas:Group.elt list -> lambda:Group.elt -> psi:Group.elt ->
+  bool
+(** eq. (11): [Π_ℓ Γ_{i,ℓ} = Λ_i Ψ_i] — anyone can verify a published
+    [(Λ_i, Ψ_i)] pair against the Γ values derived from the
+    commitments. *)
+
+val check_f_disclosure :
+  Group.t -> phis:Group.elt list -> f_sum_at:Bigint.t -> psi:Group.elt ->
+  bool
+(** eq. (13): [z1^{F(α_k)} Ψ_k = Π_ℓ Φ_{k,ℓ}] — validates a disclosed
+    batch of [f] shares during winner identification. *)

@@ -1,0 +1,15 @@
+open Dmw_bigint
+open Dmw_modular
+
+type t = Bigint.t
+
+let commit g ~value ~blinding = Group.commit g value blinding
+let verify g c ~value ~blinding = Bigint.equal c (commit g ~value ~blinding)
+let blind_only g ~blinding = Group.pow g g.Group.z2 blinding
+let mul g a b = Group.mul g a b
+let pow g a e = Group.pow g a e
+let equal = Bigint.equal
+let to_element c = c
+let of_element e = e
+let byte_size g = Group.element_bytes g
+let pp = Bigint.pp

@@ -1,0 +1,32 @@
+(** Pedersen-style commitments in a Schnorr group.
+
+    A commitment to exponent [a] with blinding [b] is
+    [z1^a * z2^b mod p]. The scheme is perfectly hiding and binding
+    under the discrete-log assumption in the order-[q] subgroup; DMW
+    uses it to commit to every polynomial coefficient before any share
+    is interpreted (paper, Phase II step 3). *)
+
+open Dmw_bigint
+open Dmw_modular
+
+type t = private Bigint.t
+(** A commitment; equality is group-element equality. *)
+
+val commit : Group.t -> value:Bigint.t -> blinding:Bigint.t -> t
+val verify : Group.t -> t -> value:Bigint.t -> blinding:Bigint.t -> bool
+
+val blind_only : Group.t -> blinding:Bigint.t -> t
+(** [z2^b] — used for the high-index entries of the Q/R vectors, where
+    no coefficient exists but the slot must remain indistinguishable
+    from a real commitment. *)
+
+val mul : Group.t -> t -> t -> t
+(** Homomorphic combination: [commit a b * commit a' b' =
+    commit (a+a') (b+b')]. *)
+
+val pow : Group.t -> t -> Bigint.t -> t
+val equal : t -> t -> bool
+val to_element : t -> Group.elt
+val of_element : Group.elt -> t
+val byte_size : Group.t -> int
+val pp : Format.formatter -> t -> unit

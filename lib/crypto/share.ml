@@ -1,0 +1,19 @@
+open Dmw_bigint
+open Dmw_modular
+
+type t = {
+  e_at : Bigint.t;
+  f_at : Bigint.t;
+  g_at : Bigint.t;
+  h_at : Bigint.t;
+}
+
+let byte_size g = 4 * Group.exponent_bytes g
+
+let equal a b =
+  Bigint.equal a.e_at b.e_at && Bigint.equal a.f_at b.f_at
+  && Bigint.equal a.g_at b.g_at && Bigint.equal a.h_at b.h_at
+
+let pp fmt s =
+  Format.fprintf fmt "{e=%a; f=%a; g=%a; h=%a}" Bigint.pp s.e_at Bigint.pp
+    s.f_at Bigint.pp s.g_at Bigint.pp s.h_at

@@ -1,0 +1,21 @@
+(** A private share bundle.
+
+    In Phase II step 2 agent [A_i] sends agent [A_k] the four
+    evaluations of its secret polynomials at [A_k]'s pseudonym
+    [α_k]: [e_i(α_k), f_i(α_k), g_i(α_k), h_i(α_k)]. *)
+
+open Dmw_bigint
+open Dmw_modular
+
+type t = {
+  e_at : Bigint.t;
+  f_at : Bigint.t;
+  g_at : Bigint.t;
+  h_at : Bigint.t;
+}
+
+val byte_size : Group.t -> int
+(** Wire size of one share bundle (four exponents). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+let dims bids =
+  let n = Array.length bids in
+  if n = 0 then invalid_arg "Baselines: no agents";
+  (n, Array.length bids.(0))
+
+let round_robin ~bids =
+  let n, m = dims bids in
+  Schedule.create ~agents:n ~assignment:(Array.init m (fun j -> j mod n))
+
+let random rng ~bids =
+  let n, m = dims bids in
+  Schedule.create ~agents:n
+    ~assignment:(Array.init m (fun _ -> Dmw_bigint.Prng.int rng n))
+
+let greedy_load ~bids =
+  let n, m = dims bids in
+  let loads = Array.make n 0.0 in
+  let assignment =
+    Array.init m (fun j ->
+        let best = ref 0 in
+        for i = 1 to n - 1 do
+          if loads.(i) +. bids.(i).(j) < loads.(!best) +. bids.(!best).(j) then
+            best := i
+        done;
+        loads.(!best) <- loads.(!best) +. bids.(!best).(j);
+        !best)
+  in
+  Schedule.create ~agents:n ~assignment
+
+let min_per_task ~bids =
+  let n, m = dims bids in
+  let assignment =
+    Array.init m (fun j ->
+        let best = ref 0 in
+        for i = 1 to n - 1 do
+          if bids.(i).(j) < bids.(!best).(j) then best := i
+        done;
+        !best)
+  in
+  Schedule.create ~agents:n ~assignment

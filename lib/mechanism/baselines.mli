@@ -1,0 +1,20 @@
+(** Non-strategic scheduling baselines.
+
+    Used by the benchmark harness to situate MinWork's makespan between
+    the exact optimum and naive policies. None of these is truthful;
+    they take the reported bid matrix at face value. *)
+
+val round_robin : bids:float array array -> Schedule.t
+(** Task [j] goes to agent [j mod n], ignoring bids. *)
+
+val random : Dmw_bigint.Prng.t -> bids:float array array -> Schedule.t
+(** Uniform random assignment. *)
+
+val greedy_load : bids:float array array -> Schedule.t
+(** List scheduling: tasks in index order, each placed on the machine
+    whose load after the placement is smallest (a makespan-aware
+    heuristic that MinWork deliberately is not). *)
+
+val min_per_task : bids:float array array -> Schedule.t
+(** MinWork's allocation rule alone (no payments): each task to its
+    fastest reporter, first index on ties. *)

@@ -1,0 +1,53 @@
+type t = { times : float array array }
+
+let validate times =
+  let n = Array.length times in
+  if n = 0 then invalid_arg "Instance: no agents";
+  let m = Array.length times.(0) in
+  if m = 0 then invalid_arg "Instance: no tasks";
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then invalid_arg "Instance: ragged matrix";
+      Array.iter
+        (fun v ->
+          if not (Float.is_finite v) || v <= 0.0 then
+            invalid_arg "Instance: times must be positive and finite")
+        row)
+    times
+
+let create ~times =
+  validate times;
+  { times = Array.map Array.copy times }
+
+let of_requirements ~requirements ~speeds =
+  let times =
+    Array.map
+      (fun speed_row ->
+        Array.map2 (fun r s -> r /. s) requirements speed_row)
+      speeds
+  in
+  create ~times
+
+let agents t = Array.length t.times
+let tasks t = Array.length t.times.(0)
+let time t ~agent ~task = t.times.(agent).(task)
+let times t = Array.map Array.copy t.times
+let row t ~agent = Array.copy t.times.(agent)
+
+let with_row t ~agent row =
+  if Array.length row <> tasks t then invalid_arg "Instance.with_row: bad length";
+  let times = Array.map Array.copy t.times in
+  times.(agent) <- Array.copy row;
+  create ~times
+
+let map_agent t ~agent f = with_row t ~agent (Array.map f t.times.(agent))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i row ->
+      Format.fprintf fmt "A%d:" (i + 1);
+      Array.iter (fun v -> Format.fprintf fmt " %6.2f" v) row;
+      Format.fprintf fmt "@,")
+    t.times;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,38 @@
+(** A scheduling-on-unrelated-machines instance (paper §2.1).
+
+    [m] independent tasks are to be scheduled on [n] machines (agents).
+    Task [j] takes agent [i] time [t_i^j = r^j / s_i^j]; as is standard
+    for unrelated machines, only the resulting time matrix matters, so
+    an instance is the matrix of {e true values} [t.(i).(j)]. *)
+
+type t
+
+val create : times:float array array -> t
+(** [times.(i).(j)] is agent [i]'s true processing time for task [j].
+    Rows must be non-empty, rectangular, and entries positive.
+    @raise Invalid_argument otherwise. *)
+
+val of_requirements :
+  requirements:float array -> speeds:float array array -> t
+(** Derive the time matrix from task requirements [r^j] and per-agent
+    per-task speeds [s_i^j] (the paper's primitive formulation). *)
+
+val agents : t -> int
+val tasks : t -> int
+
+val time : t -> agent:int -> task:int -> float
+(** The true value [t_i^j]. *)
+
+val times : t -> float array array
+(** Defensive copy of the full matrix. *)
+
+val row : t -> agent:int -> float array
+(** Agent [i]'s private type vector [t_i]. *)
+
+val map_agent : t -> agent:int -> (float -> float) -> t
+(** Instance with agent [i]'s row transformed — used to model
+    misreports while keeping the original as ground truth. *)
+
+val with_row : t -> agent:int -> float array -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+let allocation_cost instance schedule =
+  let acc = ref 0.0 in
+  for j = 0 to Schedule.tasks schedule - 1 do
+    let w = Schedule.agent_of schedule ~task:j in
+    acc := !acc +. Instance.time instance ~agent:w ~task:j
+  done;
+  !acc
+
+let overpayment instance (o : Minwork.outcome) =
+  Minwork.total_payment o -. allocation_cost instance o.Minwork.schedule
+
+let frugality_ratio instance (o : Minwork.outcome) =
+  Minwork.total_payment o /. allocation_cost instance o.Minwork.schedule
+
+let per_task_margin (o : Minwork.outcome) =
+  Array.map
+    (fun (v : Vickrey.outcome) -> v.Vickrey.price -. v.Vickrey.winning_bid)
+    o.Minwork.per_task
+
+let competition_gap ~bids ~task =
+  let column = Array.map (fun row -> row.(task)) bids in
+  Array.sort Float.compare column;
+  if Array.length column < 2 then invalid_arg "Metrics.competition_gap: need 2 bids";
+  column.(1) -. column.(0)

@@ -1,0 +1,33 @@
+(** Payment-quality metrics: frugality and overpayment.
+
+    Vickrey payments are second prices, so the mechanism always pays
+    at least the winners' true costs; {e frugality} (paper ref. [5],
+    Archer–Tardos) asks how much more. For a truthful MinWork run:
+
+    - cost = Σ_j t_{w_j}^j — the winners' true times (which equal the
+      winning bids under truth-telling);
+    - payment = Σ_j y**_j — the second prices;
+    - overpayment = payment − cost ≥ 0, frugality ratio =
+      payment / cost ≥ 1.
+
+    The ratio approaches 1 as competition thickens (more machines per
+    task): measured by the [frugality] experiment. *)
+
+val allocation_cost : Instance.t -> Schedule.t -> float
+(** Total true time of the allocated tasks on their assigned machines
+    — what the work "really costs". *)
+
+val overpayment : Instance.t -> Minwork.outcome -> float
+(** [total payments − allocation cost]; non-negative under truthful
+    bidding. *)
+
+val frugality_ratio : Instance.t -> Minwork.outcome -> float
+(** [total payments / allocation cost]. *)
+
+val per_task_margin : Minwork.outcome -> float array
+(** For each task, [second price − winning bid] — the winner's rent
+    from the competition gap. *)
+
+val competition_gap : bids:float array array -> task:int -> float
+(** [second lowest − lowest] bid for a task: the structural source of
+    the margin. *)

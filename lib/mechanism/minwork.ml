@@ -1,0 +1,31 @@
+type outcome = {
+  schedule : Schedule.t;
+  payments : float array;
+  per_task : Vickrey.outcome array;
+}
+
+let run ?tie_break bids =
+  let n = Array.length bids in
+  if n < 2 then invalid_arg "Minwork.run: need at least two agents";
+  let m = Array.length bids.(0) in
+  let per_task =
+    Array.init m (fun j ->
+        Vickrey.run ?tie_break (Array.init n (fun i -> bids.(i).(j))))
+  in
+  let assignment = Array.map (fun (o : Vickrey.outcome) -> o.winner) per_task in
+  let schedule = Schedule.create ~agents:n ~assignment in
+  let payments = Array.make n 0.0 in
+  Array.iter
+    (fun (o : Vickrey.outcome) -> payments.(o.winner) <- payments.(o.winner) +. o.price)
+    per_task;
+  { schedule; payments; per_task }
+
+let run_instance ?tie_break instance =
+  run ?tie_break (Instance.times instance)
+
+let total_payment o = Array.fold_left ( +. ) 0.0 o.payments
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "@[<v>%a" Schedule.pp o.schedule;
+  Array.iteri (fun i p -> Format.fprintf fmt "P%d = %.3f@," (i + 1) p) o.payments;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,23 @@
+(** The centralized MinWork mechanism (Nisan–Ronen; paper Def. 5).
+
+    Each task is allocated to the agent bidding the lowest processing
+    time for it, and the winner of task [j] is paid the second-lowest
+    bid [min_{i'≠i} y_{i'}^j] (eq. (1)). MinWork minimizes total work
+    and is an [n]-approximation for the makespan; it is truthful
+    (Theorem 2) and satisfies voluntary participation. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  payments : float array;      (** [P_i(y)], indexed by agent. *)
+  per_task : Vickrey.outcome array;  (** The m underlying auctions. *)
+}
+
+val run : ?tie_break:Vickrey.tie_break -> float array array -> outcome
+(** [bids.(i).(j)] is agent [i]'s reported time for task [j]. Requires
+    at least two agents. *)
+
+val run_instance : ?tie_break:Vickrey.tie_break -> Instance.t -> outcome
+(** MinWork under truthful bidding: bids are the true values. *)
+
+val total_payment : outcome -> float
+val pp_outcome : Format.formatter -> outcome -> unit

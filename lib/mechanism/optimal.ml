@@ -1,0 +1,75 @@
+let lower_bound ~times =
+  let n = Array.length times in
+  let m = Array.length times.(0) in
+  let sum_min = ref 0.0 and max_min = ref 0.0 in
+  for j = 0 to m - 1 do
+    let best = ref infinity in
+    for i = 0 to n - 1 do
+      best := Float.min !best times.(i).(j)
+    done;
+    sum_min := !sum_min +. !best;
+    max_min := Float.max !max_min !best
+  done;
+  Float.max !max_min (!sum_min /. float_of_int n)
+
+let run ?(limit = 50_000_000) times =
+  let n = Array.length times in
+  if n = 0 then invalid_arg "Optimal.run: no agents";
+  let m = Array.length times.(0) in
+  (* Process tasks with the largest spread between their best and
+     second-best placement first: they constrain the search most. *)
+  let order = Array.init m Fun.id in
+  let spread j =
+    let sorted = Array.init n (fun i -> times.(i).(j)) in
+    Array.sort Float.compare sorted;
+    if n > 1 then sorted.(1) -. sorted.(0) else sorted.(0)
+  in
+  Array.sort (fun a b -> Float.compare (spread b) (spread a)) order;
+  (* Cheapest completion of the remaining tasks (suffix sums of the
+     per-task minima in search order) for pruning. *)
+  let min_cost = Array.make (m + 1) 0.0 in
+  for r = m - 1 downto 0 do
+    let j = order.(r) in
+    let best = ref infinity in
+    for i = 0 to n - 1 do
+      best := Float.min !best times.(i).(j)
+    done;
+    min_cost.(r) <- min_cost.(r + 1) +. !best
+  done;
+  let loads = Array.make n 0.0 in
+  let assignment = Array.make m 0 in
+  let best_assignment = Array.make m 0 in
+  let best = ref infinity in
+  let explored = ref 0 in
+  let rec go r current_max =
+    incr explored;
+    if !explored > limit then failwith "Optimal.run: node limit exceeded";
+    if r = m then begin
+      if current_max < !best then begin
+        best := current_max;
+        Array.blit assignment 0 best_assignment 0 m
+      end
+    end
+    else begin
+      let j = order.(r) in
+      (* Even distributing the remaining work perfectly cannot beat the
+         incumbent if the guaranteed residue already does not fit. *)
+      let residual_avg =
+        (Array.fold_left ( +. ) 0.0 loads +. min_cost.(r)) /. float_of_int n
+      in
+      if Float.max current_max residual_avg < !best then
+        for i = 0 to n - 1 do
+          let t = times.(i).(j) in
+          let new_load = loads.(i) +. t in
+          let new_max = Float.max current_max new_load in
+          if new_max < !best then begin
+            loads.(i) <- new_load;
+            assignment.(j) <- i;
+            go (r + 1) new_max;
+            loads.(i) <- loads.(i) -. t
+          end
+        done
+    end
+  in
+  go 0 0.0;
+  (Schedule.create ~agents:n ~assignment:best_assignment, !best)

@@ -1,0 +1,17 @@
+(** Exact minimum-makespan scheduling, by branch and bound.
+
+    Scheduling on unrelated machines is NP-hard, so the exact optimum
+    is only used as the baseline of the approximation-ratio experiment
+    (E-approx in DESIGN.md) on small instances. The search assigns
+    tasks in decreasing order of their best-vs-rest spread and prunes
+    with two lower bounds: the current maximum load, and the load that
+    the cheapest-possible placement of the remaining tasks implies. *)
+
+val run : ?limit:int -> float array array -> Schedule.t * float
+(** [(schedule, makespan)] of an optimal schedule. [limit] caps the
+    number of explored nodes (default [50_000_000]).
+    @raise Failure when the limit is exceeded. *)
+
+val lower_bound : times:float array array -> float
+(** A cheap makespan lower bound: [max(max_j min_i t_i^j,
+    (Σ_j min_i t_i^j) / n)]. *)

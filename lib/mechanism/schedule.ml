@@ -1,0 +1,50 @@
+type t = { agents : int; assignment : int array }
+
+let create ~agents ~assignment =
+  if agents <= 0 then invalid_arg "Schedule.create: no agents";
+  Array.iter
+    (fun a ->
+      if a < 0 || a >= agents then invalid_arg "Schedule.create: bad agent index")
+    assignment;
+  { agents; assignment = Array.copy assignment }
+
+let agents t = t.agents
+let tasks t = Array.length t.assignment
+let agent_of t ~task = t.assignment.(task)
+
+let tasks_of t ~agent =
+  let acc = ref [] in
+  for j = Array.length t.assignment - 1 downto 0 do
+    if t.assignment.(j) = agent then acc := j :: !acc
+  done;
+  !acc
+
+let assignment t = Array.copy t.assignment
+
+let load ~times t ~agent =
+  let acc = ref 0.0 in
+  Array.iteri (fun j a -> if a = agent then acc := !acc +. times.(agent).(j)) t.assignment;
+  !acc
+
+let makespan ~times t =
+  let best = ref 0.0 in
+  for i = 0 to t.agents - 1 do
+    best := Float.max !best (load ~times t ~agent:i)
+  done;
+  !best
+
+let total_work ~times t =
+  let acc = ref 0.0 in
+  Array.iteri (fun j a -> acc := !acc +. times.(a).(j)) t.assignment;
+  !acc
+
+let equal a b = a.agents = b.agents && a.assignment = b.assignment
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to t.agents - 1 do
+    let ts = tasks_of t ~agent:i in
+    Format.fprintf fmt "S%d = {%s}@," (i + 1)
+      (String.concat ", " (List.map (fun j -> "T" ^ string_of_int (j + 1)) ts))
+  done;
+  Format.fprintf fmt "@]"

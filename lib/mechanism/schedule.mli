@@ -1,0 +1,33 @@
+(** Schedules — partitions of the task set over the agents.
+
+    Stored as a task→agent assignment vector, which for this problem is
+    equivalent to the paper's partition [S = {S_1, .., S_n}] and easier
+    to manipulate. *)
+
+type t
+
+val create : agents:int -> assignment:int array -> t
+(** [assignment.(j)] is the agent receiving task [j].
+    @raise Invalid_argument if any entry is outside [[0, agents)]. *)
+
+val agents : t -> int
+val tasks : t -> int
+
+val agent_of : t -> task:int -> int
+
+val tasks_of : t -> agent:int -> int list
+(** The set [S_i], ascending. *)
+
+val assignment : t -> int array
+
+val load : times:float array array -> t -> agent:int -> float
+(** [Σ_{j ∈ S_i} times.(i).(j)]. *)
+
+val makespan : times:float array array -> t -> float
+(** [C_max = max_i load_i], the objective of §2.2 Def. 2. *)
+
+val total_work : times:float array array -> t -> float
+(** [Σ_i load_i] — the quantity MinWork actually minimizes. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+let valuation instance ~agent schedule =
+  let acc = ref 0.0 in
+  List.iter
+    (fun j -> acc := !acc +. Instance.time instance ~agent ~task:j)
+    (Schedule.tasks_of schedule ~agent);
+  -. !acc
+
+let utility instance ~agent (o : Minwork.outcome) =
+  o.payments.(agent) +. valuation instance ~agent o.schedule
+
+let utilities instance (o : Minwork.outcome) =
+  Array.init (Instance.agents instance) (fun agent -> utility instance ~agent o)
+
+let utility_of_bids instance ~agent ~bids =
+  utility instance ~agent (Minwork.run bids)
+
+(* Per-task utility of reporting [y] for task [j] when everyone else
+   bids truthfully: win iff y is (weakly, by index) minimal; winning
+   pays the others' minimum and costs the true time. MinWork's
+   per-task independence makes unilateral deviation search separable. *)
+let task_utility instance ~agent ~task y =
+  let n = Instance.agents instance in
+  let others_min = ref infinity and others_argmin = ref (-1) in
+  for i = 0 to n - 1 do
+    if i <> agent then begin
+      let t = Instance.time instance ~agent:i ~task in
+      if t < !others_min then begin
+        others_min := t;
+        others_argmin := i
+      end
+    end
+  done;
+  let wins = y < !others_min || (y = !others_min && agent < !others_argmin) in
+  if wins then !others_min -. Instance.time instance ~agent ~task else 0.0
+
+let best_deviation instance ~agent ~bid_levels =
+  let m = Instance.tasks instance in
+  let truth_row = Instance.row instance ~agent in
+  let truthful_total =
+    let acc = ref 0.0 in
+    for j = 0 to m - 1 do
+      acc := !acc +. task_utility instance ~agent ~task:j truth_row.(j)
+    done;
+    !acc
+  in
+  let best_row = Array.copy truth_row in
+  let best_total = ref 0.0 in
+  for j = 0 to m - 1 do
+    let truth_u = task_utility instance ~agent ~task:j truth_row.(j) in
+    let best_u = ref truth_u and best_y = ref truth_row.(j) in
+    Array.iter
+      (fun y ->
+        let u = task_utility instance ~agent ~task:j y in
+        if u > !best_u then begin
+          best_u := u;
+          best_y := y
+        end)
+      bid_levels;
+    best_row.(j) <- !best_y;
+    best_total := !best_total +. !best_u
+  done;
+  if !best_total > truthful_total +. 1e-12 then
+    Some (best_row, !best_total -. truthful_total)
+  else None
+
+let voluntary_participation_holds instance =
+  let o = Minwork.run_instance instance in
+  Array.for_all (fun u -> u >= -1e-12) (utilities instance o)

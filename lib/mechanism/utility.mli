@@ -1,0 +1,33 @@
+(** Valuations, utilities and empirical truthfulness probes (§2.2).
+
+    Agent [i]'s valuation of a schedule is the negated total true time
+    of its assigned tasks, [V_i = −Σ_{j∈S_i} t_i^j]; its utility is
+    [U_i = P_i + V_i] (Def. 2). The probes below exhaustively explore
+    deviations on discretized bid spaces — they cannot prove
+    truthfulness (Theorem 2 does), but they falsify broken
+    implementations and power the E-faith experiment. *)
+
+val valuation : Instance.t -> agent:int -> Schedule.t -> float
+val utility : Instance.t -> agent:int -> Minwork.outcome -> float
+
+val utilities : Instance.t -> Minwork.outcome -> float array
+
+val utility_of_bids :
+  Instance.t -> agent:int -> bids:float array array -> float
+(** Utility agent [i] obtains when MinWork runs on [bids] while its
+    true values are those of the instance. *)
+
+val best_deviation :
+  Instance.t -> agent:int -> bid_levels:float array ->
+  (float array * float) option
+(** Exhaustively searches per-task unilateral misreports drawn from
+    [bid_levels] (others bidding truthfully): because MinWork runs an
+    independent auction per task, deviations decompose per task and the
+    search is [O(m · |levels|)], not exponential. Returns the deviating
+    row and the utility gain when some misreport {e strictly} beats
+    truth-telling; [None] when truth-telling is optimal (the expected
+    outcome). *)
+
+val voluntary_participation_holds : Instance.t -> bool
+(** Under truthful bidding by everyone, every agent's utility is
+    non-negative (Def. 4). *)

@@ -1,0 +1,32 @@
+type tie_break =
+  | First_index
+  | Random of Dmw_bigint.Prng.t
+  | Least_key of (int -> int)
+
+type outcome = {
+  winner : int;
+  winning_bid : float;
+  price : float;
+  tied : int list;
+}
+
+let run ?(tie_break = First_index) bids =
+  let n = Array.length bids in
+  if n < 2 then invalid_arg "Vickrey.run: need at least two bidders";
+  let min_bid = Array.fold_left Float.min bids.(0) bids in
+  let tied =
+    List.filter (fun i -> bids.(i) = min_bid) (List.init n Fun.id)
+  in
+  let winner =
+    match tie_break with
+    | First_index -> List.hd tied
+    | Random rng -> Dmw_bigint.Prng.pick rng (Array.of_list tied)
+    | Least_key key ->
+        List.fold_left
+          (fun acc i -> if key i < key acc then i else acc)
+          (List.hd tied) (List.tl tied)
+  in
+  (* Second price: minimum over everyone except the winner. *)
+  let price = ref infinity in
+  Array.iteri (fun i b -> if i <> winner then price := Float.min !price b) bids;
+  { winner; winning_bid = min_bid; price = !price; tied }

@@ -1,0 +1,27 @@
+(** Single-item Vickrey (second-price, lowest-bid-wins) auction.
+
+    MinWork is exactly one Vickrey auction per task (paper §2.2); this
+    module is the per-task primitive shared by {!Minwork} and by the
+    reference model that the distributed protocol is tested against.
+    As this is a procurement auction, the {e lowest} bid wins and the
+    winner is paid the {e second-lowest} bid. *)
+
+type tie_break =
+  | First_index  (** Smallest agent index — DMW's "smallest pseudonym" rule. *)
+  | Random of Dmw_bigint.Prng.t
+      (** Uniform among minimum bidders — the centralized MinWork rule. *)
+  | Least_key of (int -> int)
+      (** Tied agent with the smallest key — lets callers reproduce
+          DMW's smallest-{e pseudonym} rule when pseudonyms are not in
+          index order. *)
+
+type outcome = {
+  winner : int;
+  winning_bid : float;   (** The first (lowest) price. *)
+  price : float;         (** The second price, paid to the winner. *)
+  tied : int list;       (** All agents that bid the minimum. *)
+}
+
+val run : ?tie_break:tie_break -> float array -> outcome
+(** @raise Invalid_argument with fewer than two bidders (the second
+    price would be undefined). *)

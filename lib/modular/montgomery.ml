@@ -1,0 +1,118 @@
+open Dmw_bigint
+
+type ctx = {
+  n : Bigint.t;        (* the modulus *)
+  rbits : int;         (* R = 2^rbits, a whole number of limbs *)
+  n' : Bigint.t;       (* -N^{-1} mod R *)
+  r2 : Bigint.t;       (* R^2 mod N, for the to-Montgomery conversion *)
+  one_m : Bigint.t;    (* R mod N = Montgomery form of 1 *)
+}
+
+let limb_bits = Nat.base_bits
+
+let create n =
+  if Bigint.compare n (Bigint.of_int 3) < 0 then
+    invalid_arg "Montgomery.create: modulus too small";
+  if Bigint.is_even n then invalid_arg "Montgomery.create: modulus must be odd";
+  let limbs = (Bigint.num_bits n + limb_bits - 1) / limb_bits in
+  let rbits = limbs * limb_bits in
+  let r = Bigint.shift_left Bigint.one rbits in
+  let inv = Zmod.inv r n in
+  let n' = Bigint.sub r inv in
+  let r2 = Bigint.erem (Bigint.mul r r) n in
+  let one_m = Bigint.erem r n in
+  { n; rbits; n'; r2; one_m }
+
+let modulus ctx = ctx.n
+let auto_threshold_bits = 384
+
+(* Montgomery reduction: REDC(t) = t * R^{-1} mod N for 0 <= t < N*R. *)
+let redc ctx t =
+  let open Bigint in
+  (* m = (t mod R) * n' mod R. *)
+  let m = low_bits (mul (low_bits t ctx.rbits) ctx.n') ctx.rbits in
+  let u = shift_right (add t (mul m ctx.n)) ctx.rbits in
+  if compare u ctx.n >= 0 then sub u ctx.n else u
+
+let mul_m ctx a b =
+  Zmod.Counters.bump_mul ();
+  redc ctx (Bigint.mul a b)
+
+let to_m ctx a = mul_m ctx (Bigint.erem a ctx.n) ctx.r2
+let of_m ctx a = redc ctx a
+
+let mul ctx a b = of_m ctx (mul_m ctx (to_m ctx a) (to_m ctx b))
+
+let window_bits = 4
+
+(* Context cache for the Zmod.pow fast path, keyed by modulus. The
+   mutex makes it safe under the concurrent runtime (Dmw_runtime runs
+   agents on real threads). Capped: prime generation tests thousands
+   of throwaway moduli, and each cached context holds a few bignums. *)
+let ctx_cache : (int, (Bigint.t * ctx) list ref) Hashtbl.t = Hashtbl.create 8
+let ctx_cache_lock = Mutex.create ()
+let ctx_cache_cap = 64
+let ctx_cache_size = ref 0
+
+let cached_ctx n =
+  Mutex.lock ctx_cache_lock;
+  if !ctx_cache_size >= ctx_cache_cap then begin
+    Hashtbl.reset ctx_cache;
+    ctx_cache_size := 0
+  end;
+  let h = Bigint.hash n in
+  let bucket =
+    match Hashtbl.find_opt ctx_cache h with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.add ctx_cache h b;
+        b
+  in
+  let ctx =
+    match List.find_opt (fun (m, _) -> Bigint.equal m n) !bucket with
+    | Some (_, ctx) -> ctx
+    | None ->
+        let ctx = create n in
+        bucket := (n, ctx) :: !bucket;
+        incr ctx_cache_size;
+        ctx
+  in
+  Mutex.unlock ctx_cache_lock;
+  ctx
+
+let pow ctx b e =
+  if Bigint.sign e < 0 then invalid_arg "Montgomery.pow: negative exponent";
+  let nbits = Bigint.num_bits e in
+  if nbits = 0 then Bigint.erem Bigint.one ctx.n
+  else begin
+    let bm = to_m ctx b in
+    (* Table of b^0 .. b^(2^w - 1) in Montgomery form. *)
+    let table = Array.make (1 lsl window_bits) ctx.one_m in
+    for i = 1 to (1 lsl window_bits) - 1 do
+      table.(i) <- mul_m ctx table.(i - 1) bm
+    done;
+    (* Consume the exponent in w-bit chunks, most significant first. *)
+    let chunks = (nbits + window_bits - 1) / window_bits in
+    let acc = ref ctx.one_m in
+    for c = chunks - 1 downto 0 do
+      for _ = 1 to window_bits do
+        acc := mul_m ctx !acc !acc
+      done;
+      let v = ref 0 in
+      for bit = window_bits - 1 downto 0 do
+        let idx = (c * window_bits) + bit in
+        v := (!v lsl 1) lor (if idx < nbits && Bigint.testbit e idx then 1 else 0)
+      done;
+      if !v <> 0 then acc := mul_m ctx !acc table.(!v)
+    done;
+    of_m ctx !acc
+  end
+
+(* Register as Zmod.pow's fast path for large odd moduli. *)
+let () =
+  Zmod.fast_pow :=
+    fun m b e ->
+      if Bigint.num_bits m >= auto_threshold_bits && not (Bigint.is_even m)
+      then Some (pow (cached_ctx m) b e)
+      else None

@@ -1,0 +1,22 @@
+(** Primality testing.
+
+    Trial division by a fixed sieve of small primes followed by
+    Miller–Rabin. With [rounds] random bases the error probability of
+    declaring a composite prime is at most [4^-rounds]; values below
+    [2^32] are decided exactly using the deterministic base set
+    {2, 7, 61}. *)
+
+open Dmw_bigint
+
+val small_primes : int array
+(** Primes below 1000, used for trial division and tests. *)
+
+val miller_rabin_witness : Bigint.t -> Bigint.t -> bool
+(** [miller_rabin_witness n a] is [true] when [a] witnesses that odd
+    [n > 2] is composite. *)
+
+val is_prime : ?rounds:int -> Prng.t -> Bigint.t -> bool
+(** Probabilistic primality test. [rounds] defaults to 24. *)
+
+val is_prime_int : int -> bool
+(** Exact test for native integers (trial division). *)

@@ -1,0 +1,65 @@
+open Dmw_bigint
+
+let candidate g ~bits =
+  (* Force the top bit (exact width) and the bottom bit (odd). *)
+  let x = Prng.bits g (bits - 1) in
+  let x = Bigint.add x (Bigint.shift_left Bigint.one (bits - 1)) in
+  if Bigint.is_even x then Bigint.add x Bigint.one else x
+
+let prime g ~bits =
+  if bits < 2 then invalid_arg "Primegen.prime: bits must be >= 2";
+  if bits = 2 then (if Prng.bool g then Bigint.of_int 2 else Bigint.of_int 3)
+  else begin
+    let rec search () =
+      let c = candidate g ~bits in
+      if Primality.is_prime g c then c else search ()
+    in
+    search ()
+  end
+
+(* Residues of [n] modulo each sieve prime; walking the candidate by
+   +2 then only needs int arithmetic instead of a bignum division per
+   sieve prime per step. *)
+let residues n =
+  Array.map
+    (fun p -> Bigint.to_int_exn (Bigint.erem n (Bigint.of_int p)))
+    Primality.small_primes
+
+let safe_prime g ~bits =
+  if bits < 5 then invalid_arg "Primegen.safe_prime: bits must be >= 5";
+  let qbits = bits - 1 in
+  (* The sieve is only sound when q exceeds every sieve prime. *)
+  let use_sieve = qbits > 12 in
+  let rec restart () =
+    let q0 = candidate g ~bits:qbits in
+    let rq = if use_sieve then residues q0 else [||] in
+    let steps = 4096 in
+    let rec walk q k =
+      if k >= steps || Bigint.num_bits q > qbits then restart ()
+      else begin
+        let sieved_out =
+          use_sieve
+          && Array.exists2
+               (fun s r0 ->
+                 let r = (r0 + (2 * k)) mod s in
+                 (* s | q, or s | p where p = 2q+1. *)
+                 r = 0 || ((2 * r) + 1) mod s = 0)
+               Primality.small_primes rq
+        in
+        let next () = walk (Bigint.add q Bigint.two) (k + 1) in
+        if sieved_out then next ()
+        else begin
+          let p = Bigint.add (Bigint.shift_left q 1) Bigint.one in
+          (* Cheap rounds first: most candidates fail fast. *)
+          if Primality.is_prime ~rounds:4 g q
+             && Primality.is_prime ~rounds:4 g p
+             && Primality.is_prime g q
+             && Primality.is_prime g p
+          then (p, q)
+          else next ()
+        end
+      end
+    in
+    walk q0 0
+  in
+  restart ()

@@ -1,0 +1,16 @@
+(** Deterministic generation of primes and safe primes.
+
+    Generation is driven by a {!Dmw_bigint.Prng.t}, so a fixed seed
+    always yields the same prime — used both for test reproducibility
+    and to pre-generate the standard groups shipped in {!Group}. *)
+
+open Dmw_bigint
+
+val prime : Prng.t -> bits:int -> Bigint.t
+(** A random prime with exactly [bits] bits (top bit forced).
+    [bits >= 2]. *)
+
+val safe_prime : Prng.t -> bits:int -> Bigint.t * Bigint.t
+(** [safe_prime g ~bits] is [(p, q)] with [p = 2q + 1], both prime and
+    [p] of exactly [bits] bits. Search uses a combined sieve on [q]
+    and [p] candidates. [bits >= 5]. *)

@@ -1,0 +1,160 @@
+type rule = costs:float array -> float array
+
+let winner_take_all ~total ~costs =
+  let n = Array.length costs in
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if costs.(i) < costs.(!best) then best := i
+  done;
+  Array.init n (fun i -> if i = !best then total else 0.0)
+
+let winner_take_all ~total : rule = fun ~costs -> winner_take_all ~total ~costs
+
+let proportional ~total ~gamma : rule =
+  if gamma < 0.0 then invalid_arg "Oneparam.proportional: gamma must be >= 0";
+  fun ~costs ->
+    let weight c = (1.0 /. c) ** gamma in
+    let z = Array.fold_left (fun acc c -> acc +. weight c) 0.0 costs in
+    Array.map (fun c -> total *. weight c /. z) costs
+
+let equal_split ~total : rule =
+  fun ~costs ->
+    let n = Array.length costs in
+    Array.make n (total /. float_of_int n)
+
+type outcome = { work : float array; payments : float array }
+
+let validate_levels levels =
+  let k = Array.length levels in
+  if k = 0 then invalid_arg "Oneparam: empty level set";
+  for j = 0 to k - 1 do
+    if levels.(j) <= 0.0 then invalid_arg "Oneparam: levels must be positive";
+    if j > 0 && levels.(j) <= levels.(j - 1) then
+      invalid_arg "Oneparam: levels must be strictly increasing"
+  done
+
+let costs_of ~levels bids =
+  Array.map
+    (fun b ->
+      if b < 0 || b >= Array.length levels then
+        invalid_arg "Oneparam: bid outside the level set";
+      levels.(b))
+    bids
+
+(* Own-bid work curve of one agent, everything else fixed. *)
+let work_curve rule ~levels ~bids ~agent =
+  Array.init (Array.length levels) (fun j ->
+      let bids' = Array.copy bids in
+      bids'.(agent) <- j;
+      (rule ~costs:(costs_of ~levels bids')).(agent))
+
+let threshold_payment rule ~levels ~bids ~agent =
+  let k = Array.length levels in
+  let curve = work_curve rule ~levels ~bids ~agent in
+  let acc = ref (levels.(k - 1) *. curve.(k - 1)) in
+  for j = bids.(agent) to k - 2 do
+    acc := !acc +. (levels.(j + 1) *. (curve.(j) -. curve.(j + 1)))
+  done;
+  !acc
+
+let run rule ~levels ~bids =
+  validate_levels levels;
+  let work = rule ~costs:(costs_of ~levels bids) in
+  let payments =
+    Array.init (Array.length bids) (fun agent ->
+        threshold_payment rule ~levels ~bids ~agent)
+  in
+  { work; payments }
+
+let utility outcome ~agent ~true_cost =
+  outcome.payments.(agent) -. (true_cost *. outcome.work.(agent))
+
+let is_monotone rule ~levels ~n =
+  validate_levels levels;
+  let k = Array.length levels in
+  (* Exhaust all k^n profiles; for each, check each agent's curve. *)
+  let bids = Array.make n 0 in
+  let exception Not_monotone in
+  let rec go i =
+    if i = n then
+      for agent = 0 to n - 1 do
+        let curve = work_curve rule ~levels ~bids ~agent in
+        for j = 0 to k - 2 do
+          if curve.(j) < curve.(j + 1) -. 1e-12 then raise Not_monotone
+        done
+      done
+    else
+      for b = 0 to k - 1 do
+        bids.(i) <- b;
+        go (i + 1)
+      done
+  in
+  match go 0 with () -> true | exception Not_monotone -> false
+
+let best_deviation rule ~levels ~true_bids ~agent =
+  validate_levels levels;
+  let true_cost = levels.(true_bids.(agent)) in
+  let utility_of_report r =
+    let bids = Array.copy true_bids in
+    bids.(agent) <- r;
+    let o = run rule ~levels ~bids in
+    utility o ~agent ~true_cost
+  in
+  let honest = utility_of_report true_bids.(agent) in
+  let best = ref None in
+  Array.iteri
+    (fun r _ ->
+      if r <> true_bids.(agent) then begin
+        let u = utility_of_report r in
+        let gain = u -. honest in
+        match !best with
+        | Some (_, g) when g >= gain -> ()
+        | _ -> if gain > 1e-9 then best := Some (r, gain)
+      end)
+    levels;
+  !best
+
+type lottery = costs:float array -> (float array * float) list
+
+let proportional_lottery ~total ~gamma : lottery =
+  if gamma < 0.0 then invalid_arg "Oneparam.proportional_lottery: gamma must be >= 0";
+  fun ~costs ->
+    let n = Array.length costs in
+    let weight c = (1.0 /. c) ** gamma in
+    let z = Array.fold_left (fun acc c -> acc +. weight c) 0.0 costs in
+    List.init n (fun i ->
+        let work = Array.init n (fun j -> if j = i then total else 0.0) in
+        (work, weight costs.(i) /. z))
+
+let expected_work (lottery : lottery) ~costs =
+  let outcomes = lottery ~costs in
+  match outcomes with
+  | [] -> invalid_arg "Oneparam.expected_work: empty lottery"
+  | (first, _) :: _ ->
+      let n = Array.length first in
+      let acc = Array.make n 0.0 in
+      List.iter
+        (fun (work, pr) ->
+          Array.iteri (fun i w -> acc.(i) <- acc.(i) +. (pr *. w)) work)
+        outcomes;
+      acc
+
+(* A lottery reduces to a deterministic rule on expected work, so the
+   whole threshold-payment machinery applies verbatim. *)
+let rule_of_lottery (lottery : lottery) : rule =
+ fun ~costs -> expected_work lottery ~costs
+
+let run_expected lottery ~levels ~bids = run (rule_of_lottery lottery) ~levels ~bids
+
+let is_monotone_expected lottery ~levels ~n =
+  is_monotone (rule_of_lottery lottery) ~levels ~n
+
+let best_deviation_expected lottery ~levels ~true_bids ~agent =
+  best_deviation (rule_of_lottery lottery) ~levels ~true_bids ~agent
+
+let makespan ~work ~true_costs =
+  let acc = ref 0.0 in
+  Array.iteri (fun i w -> acc := Float.max !acc (w *. true_costs.(i))) work;
+  !acc
+
+let total_payment o = Array.fold_left ( +. ) 0.0 o.payments

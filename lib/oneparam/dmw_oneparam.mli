@@ -1,0 +1,119 @@
+(** Truthful mechanisms for single-parameter agents — the paper's
+    stated future work ("designing distributed versions of the
+    centralized mechanism for scheduling on related machines", §5;
+    also the authors' divisible-load line of work, refs [10, 11]).
+
+    Setting: a divisible workload of [total] units must be split over
+    [n] machines. Machine [i]'s private type is a single number — its
+    cost (processing time) per unit of work — drawn from a published
+    discrete level set [c_1 < c_2 < ... < c_K], mirroring DMW's
+    discrete bid set W. An {e allocation rule} maps the reported cost
+    vector to a work vector; by the one-parameter characterization
+    (Myerson / Archer–Tardos), a rule admits truthful payments iff
+    each agent's work is non-increasing in its own reported cost, and
+    the {e threshold payments} — implemented here in their exact
+    discrete form — are those payments.
+
+    The library provides three archetypal monotone rules, the payment
+    construction for {e any} rule, and empirical monotonicity /
+    truthfulness checkers used by the tests:
+
+    - {!winner_take_all} — the related-machines analogue of MinWork:
+      the cheapest machine takes everything; its threshold payment is
+      the discrete Vickrey price — the lowest level at which the
+      winner would stop winning (equal to the second-lowest bid, or
+      one level above it when the tie would still break toward the
+      winner) — and is therefore the rule a DMW-style distributed
+      implementation can execute today;
+    - {!proportional} — work proportional to [speed^gamma], the
+      classic divisible-load split: better makespan, higher payments;
+    - {!equal_split} — bid-independent baseline. *)
+
+type rule = costs:float array -> float array
+(** An allocation rule: reported per-unit costs to work amounts. Rules
+    must be deterministic; monotonicity (work non-increasing in the own
+    cost) is required for {!threshold_payments} to be truthful and is
+    checked empirically by {!is_monotone}. *)
+
+val winner_take_all : total:float -> rule
+(** Everything to the (first) minimum-cost machine. *)
+
+val proportional : total:float -> gamma:float -> rule
+(** [w_i ∝ (1/c_i)^gamma]; [gamma = 1] is speed-proportional,
+    [gamma -> ∞] approaches winner-take-all. [gamma >= 0]. *)
+
+val equal_split : total:float -> rule
+
+type outcome = {
+  work : float array;      (** Work assigned to each machine. *)
+  payments : float array;  (** Threshold (truthful) payments. *)
+}
+
+val run : rule -> levels:float array -> bids:int array -> outcome
+(** [bids.(i)] is the index into [levels] that machine [i] reports.
+    Payments are the discrete threshold payments: with [K] levels and
+    own-bid work curve [w_i(k)] (others fixed),
+
+    {v P_i = levels.(K-1)·w_i(K-1) + Σ_{j=k_i}^{K-2} levels.(j+1)·(w_i(j) − w_i(j+1)) v}
+
+    i.e. each increment of work the agent keeps by being cheaper than
+    level [j+1] is paid at that threshold level. Requires [levels]
+    strictly increasing and positive. *)
+
+val utility : outcome -> agent:int -> true_cost:float -> float
+(** [P_i − t_i·w_i]: quasi-linear utility. *)
+
+val is_monotone : rule -> levels:float array -> n:int -> bool
+(** Exhaustively checks (over all level profiles for n ≤ a few
+    machines) that every agent's work is non-increasing in its own
+    reported level. *)
+
+val best_deviation :
+  rule -> levels:float array -> true_bids:int array -> agent:int ->
+  (int * float) option
+(** The most profitable unilateral misreport for [agent] whose true
+    cost is [levels.(true_bids.(agent))]: [Some (level, gain)] if one
+    strictly beats truth-telling, [None] otherwise (the expected
+    outcome for monotone rules). *)
+
+val makespan : work:float array -> true_costs:float array -> float
+(** [max_i w_i·t_i] — completion time on related machines. *)
+
+(** {2 Randomized rules — truthful in expectation}
+
+    The related-machines literature the paper builds on
+    (Archer–Tardos, §1.1) uses {e randomized} mechanisms whose
+    truthfulness holds in expectation: the allocation is a lottery,
+    the {e expected} work must be monotone in the reported cost, and
+    the threshold payments are computed on the expected-work curve.
+    The discrete level set makes all expectations exact (no
+    sampling), so truthfulness-in-expectation is machine-checkable
+    the same way as the deterministic case. *)
+
+type lottery = costs:float array -> (float array * float) list
+(** A randomized allocation: work vectors with probabilities summing
+    to 1. *)
+
+val proportional_lottery : total:float -> gamma:float -> lottery
+(** Winner-take-all by lottery: machine [i] receives everything with
+    probability proportional to [(1/c_i)^gamma]. Unlike the
+    deterministic {!winner_take_all} it gives slower machines a
+    chance — a knob between fairness and frugality. [gamma >= 0]. *)
+
+val expected_work : lottery -> costs:float array -> float array
+
+val run_expected : lottery -> levels:float array -> bids:int array -> outcome
+(** Expected work and the threshold payments on the expected-work
+    curve: truthful in expectation (and ex-post individually rational
+    for the payment rule used here). *)
+
+val is_monotone_expected : lottery -> levels:float array -> n:int -> bool
+
+val best_deviation_expected :
+  lottery -> levels:float array -> true_bids:int array -> agent:int ->
+  (int * float) option
+(** Most profitable misreport in {e expected} utility; [None] is the
+    truthful-in-expectation certificate on this profile. *)
+
+val total_payment : outcome -> float
+(** The mechanism's frugality measure. *)

@@ -1,0 +1,22 @@
+open Dmw_bigint
+
+let test ~modulus ~points ~values ~candidate =
+  if candidate < 0 then invalid_arg "Degree_resolution.test: negative candidate";
+  let s = candidate + 1 in
+  if s > Array.length points || s > Array.length values then
+    invalid_arg "Degree_resolution.test: not enough shares";
+  let v =
+    Lagrange.interpolate_at_zero ~modulus (Array.sub points 0 s)
+      (Array.sub values 0 s)
+  in
+  Bigint.is_zero v
+
+let resolve ~modulus ~points ~values ~candidates =
+  let n = min (Array.length points) (Array.length values) in
+  let usable = List.filter (fun c -> c >= 0 && c + 1 <= n) candidates in
+  let sorted = List.sort_uniq Stdlib.compare usable in
+  List.find_opt (fun candidate -> test ~modulus ~points ~values ~candidate) sorted
+
+let resolve_exact ~modulus ~points ~values =
+  let n = min (Array.length points) (Array.length values) in
+  resolve ~modulus ~points ~values ~candidates:(List.init n Fun.id)

@@ -1,0 +1,35 @@
+(** Polynomial degree resolution from shares (paper §2.4).
+
+    A dealer encodes a secret in the degree [d] of a polynomial [f]
+    with [f(0) = 0] and distributes shares [f(α_k)]. Holders of enough
+    shares recover [d] as the smallest [s] for which the s-point
+    Lagrange interpolation at zero vanishes, minus one: interpolation
+    through [s] points reproduces [f] exactly iff [deg f <= s − 1], and
+    for [s <= deg f] it evaluates to a nonzero value except with
+    probability [1/q] over the random coefficients (see the
+    off-by-one note in DESIGN.md — the paper states the threshold as
+    [s = d]; the mathematically exact threshold, which this module
+    implements and the test-suite verifies, is [s = d + 1]). *)
+
+open Dmw_bigint
+
+val test :
+  modulus:Bigint.t -> points:Bigint.t array -> values:Bigint.t array ->
+  candidate:int -> bool
+(** [test ~modulus ~points ~values ~candidate] checks whether
+    [deg f <= candidate] by interpolating through the first
+    [candidate + 1] shares. Requires [candidate + 1 <= Array.length
+    points]. *)
+
+val resolve :
+  modulus:Bigint.t -> points:Bigint.t array -> values:Bigint.t array ->
+  candidates:int list -> int option
+(** [resolve ~candidates] returns the smallest candidate degree whose
+    {!test} succeeds, scanning candidates in ascending order; [None]
+    when all fail or no candidate fits in the share count. With
+    candidates [0 .. n-1] this is exact degree recovery. *)
+
+val resolve_exact :
+  modulus:Bigint.t -> points:Bigint.t array -> values:Bigint.t array ->
+  int option
+(** {!resolve} over all degrees expressible with the given shares. *)

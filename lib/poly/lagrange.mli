@@ -1,0 +1,28 @@
+(** Lagrange interpolation at zero (paper §2.4).
+
+    Given distinct nonzero interpolation points [α_1 .. α_s] and values
+    [f(α_1) .. f(α_s)], the s-th Lagrange interpolation of [f] at 0 is
+
+    {v f^(s)(0) = Σ_j f(α_j) Π_{i≠j} α_i / (α_i − α_j)        (eq. 2) v}
+
+    which equals [f(0)] whenever [deg f <= s - 1]. The coefficients
+    [ρ_j = Π_{i≠j} α_i/(α_i − α_j)] depend only on the points and are
+    reused by the in-exponent resolution of {!Dmw_crypto}. *)
+
+open Dmw_bigint
+
+val rho : modulus:Bigint.t -> Bigint.t array -> Bigint.t array
+(** [rho ~modulus points] are the coefficients [ρ_j] for interpolation
+    at zero over [points]. Points must be distinct and nonzero mod
+    [modulus]. @raise Invalid_argument otherwise. *)
+
+val interpolate_at_zero :
+  modulus:Bigint.t -> Bigint.t array -> Bigint.t array -> Bigint.t
+(** [interpolate_at_zero ~modulus points values] is [Σ_j ρ_j v_j], the
+    value of eq. (2). Arrays must have equal nonzero length. *)
+
+val interpolate_at_zero_paper :
+  modulus:Bigint.t -> Bigint.t array -> Bigint.t array -> Bigint.t
+(** The same value computed by the three-step Θ(s²) procedure of §2.4
+    (ψ_k, φ(0), weighted sum); kept separate so tests can confirm the
+    two formulations agree. *)

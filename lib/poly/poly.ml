@@ -1,0 +1,92 @@
+open Dmw_bigint
+open Dmw_modular
+
+type t = { q : Bigint.t; c : Bigint.t array }
+(* [c.(i)] is the coefficient of x^i, canonical mod q, no trailing
+   zeros. *)
+
+let modulus p = p.q
+
+let normalize q (c : Bigint.t array) =
+  let n = ref (Array.length c) in
+  while !n > 0 && Bigint.is_zero c.(!n - 1) do
+    decr n
+  done;
+  { q; c = Array.sub c 0 !n }
+
+let create ~modulus coeffs =
+  if Bigint.compare modulus Bigint.two < 0 then
+    invalid_arg "Poly.create: modulus must be >= 2";
+  normalize modulus (Array.of_list (List.map (fun a -> Zmod.normalize modulus a) coeffs))
+
+let zero ~modulus = { q = modulus; c = [||] }
+let degree p = Array.length p.c - 1
+let coeff p i = if i < Array.length p.c then p.c.(i) else Bigint.zero
+let coeffs p = Array.copy p.c
+
+let same_field a b =
+  if not (Bigint.equal a.q b.q) then invalid_arg "Poly: modulus mismatch"
+
+let equal a b =
+  same_field a b;
+  Array.length a.c = Array.length b.c
+  && Array.for_all2 (fun x y -> Bigint.equal x y) a.c b.c
+
+let add a b =
+  same_field a b;
+  let n = max (Array.length a.c) (Array.length b.c) in
+  normalize a.q (Array.init n (fun i -> Zmod.add a.q (coeff a i) (coeff b i)))
+
+let sub a b =
+  same_field a b;
+  let n = max (Array.length a.c) (Array.length b.c) in
+  normalize a.q (Array.init n (fun i -> Zmod.sub a.q (coeff a i) (coeff b i)))
+
+let scale a k =
+  normalize a.q (Array.map (fun x -> Zmod.mul a.q x k) a.c)
+
+let mul a b =
+  same_field a b;
+  let la = Array.length a.c and lb = Array.length b.c in
+  if la = 0 || lb = 0 then zero ~modulus:a.q
+  else begin
+    let r = Array.make (la + lb - 1) Bigint.zero in
+    for i = 0 to la - 1 do
+      for j = 0 to lb - 1 do
+        r.(i + j) <- Zmod.add a.q r.(i + j) (Zmod.mul a.q a.c.(i) b.c.(j))
+      done
+    done;
+    normalize a.q r
+  end
+
+let eval p x =
+  let acc = ref Bigint.zero in
+  for i = Array.length p.c - 1 downto 0 do
+    acc := Zmod.add p.q (Zmod.mul p.q !acc x) p.c.(i)
+  done;
+  !acc
+
+let random rng ~modulus ~degree ~zero_constant =
+  if degree < 0 then invalid_arg "Poly.random: negative degree";
+  let nonzero () = Prng.in_range rng ~lo:Bigint.one ~hi:(Bigint.sub modulus Bigint.one) in
+  let c =
+    Array.init (degree + 1) (fun i ->
+        if i = 0 && zero_constant then Bigint.zero else nonzero ())
+  in
+  normalize modulus c
+
+let pp fmt p =
+  if Array.length p.c = 0 then Format.pp_print_string fmt "0"
+  else begin
+    Format.pp_open_hvbox fmt 0;
+    Array.iteri
+      (fun i a ->
+        if not (Bigint.is_zero a) then begin
+          if i > 0 then Format.fprintf fmt "@ + ";
+          if i = 0 then Bigint.pp fmt a
+          else if Bigint.equal a Bigint.one then Format.fprintf fmt "x^%d" i
+          else Format.fprintf fmt "%a*x^%d" Bigint.pp a i
+        end)
+      p.c;
+    Format.pp_close_box fmt ()
+  end

@@ -1,0 +1,48 @@
+(** Dense univariate polynomials over a prime field [Z_q].
+
+    A polynomial carries its modulus; binary operations require both
+    operands to share it. Coefficients are kept canonical in [[0, q)]
+    with no trailing zero coefficients, so {!degree} is structural. *)
+
+open Dmw_bigint
+
+type t
+
+val modulus : t -> Bigint.t
+
+val create : modulus:Bigint.t -> Bigint.t list -> t
+(** [create ~modulus [a0; a1; ...]] is [a0 + a1 x + ...]; coefficients
+    are reduced mod [modulus]. *)
+
+val zero : modulus:Bigint.t -> t
+
+val degree : t -> int
+(** Degree of the polynomial; [-1] for the zero polynomial. *)
+
+val coeff : t -> int -> Bigint.t
+(** [coeff p i] is the coefficient of [x^i] (zero beyond the degree). *)
+
+val coeffs : t -> Bigint.t array
+(** Coefficients [a0 .. a_deg]; empty for the zero polynomial. *)
+
+val equal : t -> t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : t -> Bigint.t -> t
+
+val eval : t -> Bigint.t -> Bigint.t
+(** Horner evaluation, as prescribed by the paper's cost analysis
+    (Theorem 12). *)
+
+val random :
+  Prng.t -> modulus:Bigint.t -> degree:int -> zero_constant:bool -> t
+(** Uniform polynomial of {e exact} degree [degree]: every coefficient
+    is drawn from [[1, q-1]] (the paper samples from a multiplicative
+    group, guaranteeing the leading coefficient is nonzero and thus an
+    exact degree). With [~zero_constant:true] the constant term is 0,
+    as required of the bid polynomials [e, f, g, h] (paper eq. (3)).
+    [degree >= 0]; [degree = 0] with [~zero_constant:true] yields the
+    zero polynomial. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+open Dmw_bigint
+open Dmw_modular
+
+type share = { x : Bigint.t; y : Bigint.t }
+
+let deal rng ~modulus ~secret ~threshold ~points =
+  if threshold < 0 || threshold >= Array.length points then
+    invalid_arg "Shamir.deal: need 0 <= threshold < number of points";
+  let secret = Zmod.normalize modulus secret in
+  (* Random polynomial with free term = secret. Coefficients above the
+     constant are uniform; the leading one may be zero (degree <=
+     threshold suffices for secrecy, and exactness is not observable). *)
+  let f =
+    Poly.create ~modulus
+      (secret
+      :: List.init threshold (fun _ -> Prng.below rng modulus))
+  in
+  Array.map (fun x -> { x; y = Poly.eval f x }) points
+
+let reconstruct ~modulus shares =
+  let points = Array.map (fun s -> s.x) shares in
+  let values = Array.map (fun s -> s.y) shares in
+  (* Unlike the zero-free-term setting of Lagrange.interpolate_at_zero,
+     plain Shamir reconstruction is exactly interpolation at zero. *)
+  Lagrange.interpolate_at_zero ~modulus points values
+
+let add_shares ~modulus a b =
+  if not (Bigint.equal a.x b.x) then
+    invalid_arg "Shamir.add_shares: mismatched x coordinates";
+  { x = a.x; y = Zmod.add modulus a.y b.y }

@@ -1,0 +1,43 @@
+(** Standard Shamir secret sharing (paper ref. [35]).
+
+    The paper contrasts its degree-encoding scheme with "the standard
+    secret sharing protocols, in which the information is encoded in
+    the free term of a polynomial" (§3). This module implements that
+    standard scheme, both for completeness of the substrate and so the
+    tests can demonstrate the contrast directly:
+
+    - Shamir hides {e a value} in [f(0)] of a degree-[t] polynomial;
+      any [t+1] shares reconstruct it, any [t] reveal nothing.
+    - DMW's scheme ({!Dmw_crypto.Bid_commitments}) hides a value in
+      {e deg f} with [f(0) = 0]; shares of {e sums} of such polynomials
+      still resolve the maximum degree, which is what makes the
+      auction computable on aggregated shares — free-term encodings
+      do not compose that way for [max].
+
+    Shares are points [(α, f(α))] with the [α] supplied by the caller
+    (distinct, nonzero), matching the pseudonym convention used
+    everywhere else in the repository. *)
+
+open Dmw_bigint
+
+type share = { x : Bigint.t; y : Bigint.t }
+
+val deal :
+  Prng.t -> modulus:Bigint.t -> secret:Bigint.t -> threshold:int ->
+  points:Bigint.t array -> share array
+(** Split [secret] with polynomial degree [threshold]; any
+    [threshold + 1] of the returned shares reconstruct, fewer are
+    information-theoretically independent of the secret. Requires
+    [0 <= threshold < Array.length points]. *)
+
+val reconstruct : modulus:Bigint.t -> share array -> Bigint.t
+(** Lagrange reconstruction of [f(0)] from (at least [threshold + 1])
+    shares. With fewer shares the result is uniform garbage — by
+    design, there is no way to detect insufficiency from the shares
+    alone. *)
+
+val add_shares : modulus:Bigint.t -> share -> share -> share
+(** Pointwise addition: shares of [f] and [g] at the same [x] become
+    shares of [f + g] — the linear homomorphism both schemes inherit
+    from polynomial addition. @raise Invalid_argument if the x
+    coordinates differ. *)

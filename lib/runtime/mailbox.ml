@@ -1,0 +1,46 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+}
+
+let create () =
+  { mutex = Mutex.create (); nonempty = Condition.create (); queue = Queue.create () }
+
+let push t v =
+  Mutex.lock t.mutex;
+  Queue.push v t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let pop ?timeout t =
+  Mutex.lock t.mutex;
+  let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) timeout in
+  let rec wait () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else begin
+      match deadline with
+      | None ->
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+      | Some dl ->
+          if Unix.gettimeofday () >= dl then None
+          else begin
+            (* Condition.wait has no timeout in the stdlib: poll with a
+               short sleep while releasing the lock. *)
+            Mutex.unlock t.mutex;
+            Thread.delay 0.002;
+            Mutex.lock t.mutex;
+            wait ()
+          end
+    end
+  in
+  let r = wait () in
+  Mutex.unlock t.mutex;
+  r
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n

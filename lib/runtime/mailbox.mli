@@ -1,0 +1,17 @@
+(** Thread-safe blocking mailbox (unbounded FIFO).
+
+    The concurrent runtime gives every agent one mailbox consumed by
+    its own thread, so agent state needs no further locking. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Never blocks. *)
+
+val pop : ?timeout:float -> 'a t -> 'a option
+(** Blocks until an element is available; [None] on timeout (seconds).
+    Without [timeout], blocks indefinitely. *)
+
+val length : 'a t -> int

@@ -1,0 +1,98 @@
+open Dmw_bigint
+open Dmw_core
+
+type item =
+  | Deliver of int * Messages.t  (* src, payload *)
+  | Tick of (unit -> unit)
+  | Stop
+
+type result = {
+  schedule : Dmw_mechanism.Schedule.t option;
+  payments : float option array;
+  aborted : (int * Audit.reason) list;
+  wall_seconds : float;
+}
+
+let completed r =
+  Option.is_some r.schedule && Array.for_all Option.is_some r.payments
+
+let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
+    ?(timeout = 30.0) (params : Params.t) ~bids =
+  let n = params.n in
+  let t0 = Unix.gettimeofday () in
+  (* Same agent construction — and the same polynomial randomness — as
+     Protocol.run with this seed. *)
+  let master_rng = Prng.create ~seed:(seed lxor 0xA6E77) in
+  let agents =
+    Array.init n (fun i ->
+        Agent.create ~params ~id:i ~bids:bids.(i) ~strategy:(strategies i)
+          ~rng:(Prng.split master_rng) ())
+  in
+  let boxes = Array.init n (fun _ -> Mailbox.create ()) in
+  let infra_box : (int * float array) Mailbox.t = Mailbox.create () in
+  (* Timer ticks are routed through the target agent's own mailbox so
+     that every mutation of agent state happens on its own thread. *)
+  let transport i =
+    { Agent.send =
+        (fun ~dst ~tag:_ ~bytes:_ msg ->
+          if dst = n then begin
+            match msg with
+            | Messages.Payment_report { payments } ->
+                Mailbox.push infra_box (i, payments)
+            | _ -> ()
+          end
+          else Mailbox.push boxes.(dst) (Deliver (i, msg)));
+      schedule =
+        (fun ~delay f ->
+          ignore
+            (Thread.create
+               (fun () ->
+                 Thread.delay delay;
+                 Mailbox.push boxes.(i) (Tick f))
+               ())) }
+  in
+  let agent_thread i =
+    let tr = transport i in
+    Agent.start tr agents.(i);
+    let rec loop () =
+      match Mailbox.pop boxes.(i) with
+      | Some (Deliver (src, msg)) ->
+          Agent.handle tr agents.(i) ~src msg;
+          loop ()
+      | Some (Tick f) ->
+          f ();
+          loop ()
+      | Some Stop | None -> ()
+    in
+    loop ()
+  in
+  let threads = Array.init n (fun i -> Thread.create agent_thread i) in
+  (* Collect payment reports until everyone reported or the deadline
+     passes. *)
+  let infra = Payment_infra.create ~n in
+  let deadline = t0 +. timeout in
+  let rec collect () =
+    if Payment_infra.reports_received infra < n then begin
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining > 0.0 then begin
+        match Mailbox.pop ~timeout:remaining infra_box with
+        | Some (from_, payments) ->
+            Payment_infra.receive infra ~from_ payments;
+            collect ()
+        | None -> ()
+      end
+    end
+  in
+  collect ();
+  Array.iter (fun box -> Mailbox.push box Stop) boxes;
+  Array.iter Thread.join threads;
+  (* The agent threads are joined: reading their state is safe. *)
+  Array.iter Agent.finalize_stall agents;
+  let schedule = Agent.consensus agents ~c:params.c in
+  { schedule;
+    payments = Payment_infra.settle infra ~quorum:(n - params.c);
+    aborted =
+      Array.to_list agents
+      |> List.filter_map (fun a ->
+             Option.map (fun r -> (Agent.id a, r)) (Agent.aborted a));
+    wall_seconds = Unix.gettimeofday () -. t0 }

@@ -1,0 +1,39 @@
+(** Concurrent execution of DMW on real threads.
+
+    The paper's stated future work is "implementing DMW in a simulated
+    distributed environment"; {!Dmw_core.Protocol} does that on a
+    deterministic discrete-event simulator. This module goes one step
+    further and runs the {e same} agent state machine
+    ({!Dmw_core.Agent}, via its transport abstraction) on actual
+    preemptive threads: one thread per agent, blocking mailboxes for
+    the private channels, wall-clock timers for the timeout paths.
+
+    Because the agents draw their polynomials from the same seeded
+    generators as the simulated run, a completed concurrent run
+    produces {e bit-identical} outcomes to [Protocol.run] with the same
+    seed — asserted by the test suite across thread interleavings,
+    which is a strong check that the protocol really is asynchronous:
+    no hidden dependency on the simulator's delivery order. *)
+
+open Dmw_core
+
+type result = {
+  schedule : Dmw_mechanism.Schedule.t option;
+  payments : float option array;
+  aborted : (int * Audit.reason) list;  (** Agents that gave up, with why. *)
+  wall_seconds : float;
+}
+
+val run :
+  ?strategies:(int -> Strategy.t) ->
+  ?seed:int ->
+  ?timeout:float ->
+  Params.t ->
+  bids:int array array ->
+  result
+(** [timeout] (default 30 s wall-clock) bounds how long the collector
+    waits for payment reports before declaring the run stalled —
+    deviations that stall the simulated protocol stall the concurrent
+    one the same way, just in real time. *)
+
+val completed : result -> bool

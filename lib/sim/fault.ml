@@ -1,0 +1,36 @@
+open Dmw_bigint
+
+type t =
+  | None_
+  | Crash of { node : int; time : float }
+  | Drop_link of { src : int; dst : int }
+  | Drop_tagged of { node : int; tag : string }
+  | Drop_random of { probability : float; rng : Prng.t }
+  | All of t list
+
+let none = None_
+let crash_at ~node ~time = Crash { node; time }
+let drop_link ~src ~dst = Drop_link { src; dst }
+let drop_tagged ~node ~tag = Drop_tagged { node; tag }
+
+let drop_random ~probability ~seed =
+  if probability < 0.0 || probability > 1.0 then
+    invalid_arg "Fault.drop_random: probability out of range";
+  Drop_random { probability; rng = Prng.create ~seed }
+
+let all policies = All policies
+
+let rec crashed t ~time ~node =
+  match t with
+  | Crash c -> c.node = node && time >= c.time
+  | All ps -> List.exists (fun p -> crashed p ~time ~node) ps
+  | None_ | Drop_link _ | Drop_tagged _ | Drop_random _ -> false
+
+let rec allows t ~time ~src ~dst ~tag =
+  match t with
+  | None_ -> true
+  | Crash c -> not ((c.node = src || c.node = dst) && time >= c.time)
+  | Drop_link l -> not (l.src = src && l.dst = dst)
+  | Drop_tagged d -> not (d.node = src && String.equal d.tag tag)
+  | Drop_random r -> Prng.float r.rng >= r.probability
+  | All ps -> List.for_all (fun p -> allows p ~time ~src ~dst ~tag) ps

@@ -1,0 +1,34 @@
+(** Network-level fault injection.
+
+    The paper assumes an obedient transport (Theorem 3), so the
+    default policy is {!none}. Faults here model the {e environment}
+    (crashed machines, lossy links) used by the resilience tests;
+    {e strategic} misbehaviour is modelled at the agent level in
+    [Dmw_core.Strategies], not by the network. *)
+
+type t
+
+val none : t
+
+val crash_at : node:int -> time:float -> t
+(** The node stops sending and receiving from [time] on. *)
+
+val drop_link : src:int -> dst:int -> t
+(** All messages on the directed link are lost. *)
+
+val drop_tagged : node:int -> tag:string -> t
+(** The node's outgoing messages with [tag] are lost (models a machine
+    that goes silent for one protocol step). *)
+
+val drop_random : probability:float -> seed:int -> t
+(** Each message is independently lost with [probability]. *)
+
+val all : t list -> t
+(** Compose policies; a message is delivered only if every policy
+    allows it. *)
+
+val allows :
+  t -> time:float -> src:int -> dst:int -> tag:string -> bool
+(** Decision procedure used by the engine on each transmission. *)
+
+val crashed : t -> time:float -> node:int -> bool

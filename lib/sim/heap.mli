@@ -1,0 +1,16 @@
+(** Minimal binary min-heap, used as the simulator's event queue.
+
+    Ordering is by [priority] (a float, the virtual delivery time) with
+    insertion sequence as a deterministic tie-breaker, so simulations
+    are reproducible regardless of float equality collisions. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> priority:float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Least-priority element, or [None] when empty. *)
+
+val peek_priority : 'a t -> float option

@@ -1,0 +1,31 @@
+open Dmw_bigint
+
+type t = src:int -> dst:int -> float
+
+let constant v : t = fun ~src:_ ~dst:_ -> v
+
+let table ~seed ~n f =
+  let rng = Prng.create ~seed in
+  let tbl = Array.init n (fun _ -> Array.init n (fun _ -> f rng)) in
+  fun ~src ~dst -> tbl.(src).(dst)
+
+let uniform ~seed ~n ~lo ~hi =
+  if not (lo >= 0.0 && hi >= lo) then invalid_arg "Latency.uniform: bad range";
+  table ~seed ~n (fun rng -> lo +. ((hi -. lo) *. Prng.float rng))
+
+(* Box-Muller from two uniform draws. *)
+let gaussian rng =
+  let u1 = Float.max 1e-12 (Prng.float rng) and u2 = Prng.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let lognormal ~seed ~n ~median ~sigma =
+  if median <= 0.0 || sigma < 0.0 then invalid_arg "Latency.lognormal: bad params";
+  table ~seed ~n (fun rng -> median *. exp (sigma *. gaussian rng))
+
+let clustered ~seed ~n ~clusters ~local_ ~remote =
+  if clusters < 1 then invalid_arg "Latency.clustered: need >= 1 cluster";
+  let rng = Prng.create ~seed in
+  let jitter = Array.init n (fun _ -> Array.init n (fun _ -> 0.9 +. (0.2 *. Prng.float rng))) in
+  fun ~src ~dst ->
+    let base = if src mod clusters = dst mod clusters then local_ else remote in
+    base *. jitter.(src).(dst)

@@ -1,0 +1,25 @@
+(** Link-latency models for the simulator.
+
+    {!Engine.create} takes any [src -> dst -> float] function; these
+    constructors cover the standard shapes used by the
+    completion-time experiment: a LAN (uniform), a heavy-tailed
+    network (lognormal), geo-distributed clusters (fast local links,
+    slow cross-cluster ones) and a degenerate constant model for
+    analytical checks. All models are deterministic per seed and
+    stable per link (the same pair always sees the same latency). *)
+
+type t = src:int -> dst:int -> float
+
+val constant : float -> t
+
+val uniform : seed:int -> n:int -> lo:float -> hi:float -> t
+(** Per-link latencies uniform in [[lo, hi)]. *)
+
+val lognormal : seed:int -> n:int -> median:float -> sigma:float -> t
+(** Heavy-tailed per-link latencies: [exp(N(ln median, sigma))]. *)
+
+val clustered :
+  seed:int -> n:int -> clusters:int -> local_:float -> remote:float -> t
+(** Agents are split round-robin into [clusters]; intra-cluster links
+    cost [local_], cross-cluster links [remote] (each with ±10%
+    deterministic jitter). *)

@@ -1,0 +1,94 @@
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  let m = mean xs in
+  mean (List.map (fun x -> (x -. m) *. (x -. m)) xs)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs ~p =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort Float.compare xs in
+  let n = List.length sorted in
+  (* Nearest rank. *)
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let median xs = percentile xs ~p:50.0
+
+let min_max xs =
+  match xs with
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | first :: rest ->
+      List.fold_left
+        (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+        (first, first) rest
+
+type fit = { slope : float; intercept : float; r_square : float }
+
+let linear_fit pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: constant x";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  let my = sy /. fn in
+  let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. my) *. (y -. my))) 0.0 pts in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        a +. (e *. e))
+      0.0 pts
+  in
+  let r_square = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r_square }
+
+let loglog_fit pts =
+  let usable = List.filter (fun (x, y) -> x > 0.0 && y > 0.0) pts in
+  linear_fit (List.map (fun (x, y) -> (log x, log y)) usable)
+
+let scaling_exponent ~xs ~ys =
+  (loglog_fit (List.combine (List.map float_of_int xs) ys)).slope
+
+module Table = struct
+  type t = { columns : string list; mutable rows_rev : string list list }
+
+  let create ~columns = { columns; rows_rev = [] }
+
+  let add_row t row =
+    if List.length row <> List.length t.columns then
+      invalid_arg "Stats.Table.add_row: wrong arity";
+    t.rows_rev <- row :: t.rows_rev
+
+  let add_int_row t row = add_row t (List.map string_of_int row)
+
+  let render t =
+    let rows = List.rev t.rows_rev in
+    let widths =
+      List.mapi
+        (fun i header ->
+          List.fold_left
+            (fun w row -> max w (String.length (List.nth row i)))
+            (String.length header) rows)
+        t.columns
+    in
+    let line cells =
+      String.concat "  "
+        (List.map2
+           (fun w cell -> String.make (max 0 (w - String.length cell)) ' ' ^ cell)
+           widths cells)
+    in
+    let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+    String.concat "\n" ((line t.columns :: rule :: List.map line rows) @ [ "" ])
+end

@@ -1,0 +1,52 @@
+(** Small statistics toolkit for the benchmark harness.
+
+    Descriptive statistics, simple and log-log least squares (the
+    scaling-exponent fits of the Table 1 experiments), and plain-text
+    table rendering. Self-contained on purpose: results printed by
+    `bench/main.exe` depend on nothing but this code. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val variance : float list -> float
+(** Population variance. *)
+
+val stddev : float list -> float
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [0 <= p <= 100]. *)
+
+val median : float list -> float
+
+val min_max : float list -> float * float
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_square : float;  (** Goodness of fit in [[0, 1]]; 1 when the
+                         points are collinear. *)
+}
+
+val linear_fit : (float * float) list -> fit
+(** Ordinary least squares of [y] against [x].
+    @raise Invalid_argument with fewer than two points or constant x. *)
+
+val loglog_fit : (float * float) list -> fit
+(** OLS on [(log x, log y)]: [slope] is the scaling exponent of a
+    power law [y = a·x^k]. Points with non-positive coordinates are
+    dropped. *)
+
+val scaling_exponent : xs:int list -> ys:float list -> float
+(** Convenience wrapper over {!loglog_fit}. *)
+
+(** Fixed-width plain-text tables. *)
+module Table : sig
+  type t
+
+  val create : columns:string list -> t
+  val add_row : t -> string list -> unit
+  val add_int_row : t -> int list -> unit
+
+  val render : t -> string
+  (** Right-aligned columns, a header rule, no trailing spaces. *)
+end

@@ -1,0 +1,78 @@
+open Dmw_bigint
+open Dmw_mechanism
+
+let uniform_unrelated rng ~n ~m ~lo ~hi =
+  if not (lo > 0.0 && hi >= lo) then
+    invalid_arg "Workload.uniform_unrelated: need 0 < lo <= hi";
+  Instance.create
+    ~times:
+      (Array.init n (fun _ ->
+           Array.init m (fun _ -> lo +. ((hi -. lo) *. Prng.float rng))))
+
+let machine_correlated rng ~n ~m =
+  let requirement = Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float rng)) in
+  let speed = Array.init n (fun _ -> 0.5 +. (1.5 *. Prng.float rng)) in
+  Instance.create
+    ~times:
+      (Array.init n (fun i ->
+           Array.init m (fun j ->
+               let noise = 0.8 +. (0.4 *. Prng.float rng) in
+               requirement.(j) /. speed.(i) *. noise)))
+
+let heterogeneous_cluster rng ~n ~m ~specialists =
+  if specialists < 0 || specialists > n then
+    invalid_arg "Workload.heterogeneous_cluster: bad specialist count";
+  let requirement = Array.init m (fun _ -> 2.0 +. (8.0 *. Prng.float rng)) in
+  (* Each specialist owns a contiguous slice of the task set. *)
+  let owner j = if specialists = 0 then -1 else j * specialists / m in
+  Instance.create
+    ~times:
+      (Array.init n (fun i ->
+           Array.init m (fun j ->
+               let base = requirement.(j) in
+               if i < specialists then
+                 if owner j = i then
+                   base /. (5.0 +. (5.0 *. Prng.float rng)) (* 5-10x faster *)
+                 else base *. (1.2 +. (0.3 *. Prng.float rng))
+               else base *. (0.9 +. (0.2 *. Prng.float rng)))))
+
+let adversarial_minwork ~n ~m =
+  let eps = 1e-3 in
+  Instance.create
+    ~times:
+      (Array.init n (fun i ->
+           Array.init m (fun _ -> if i = 0 then 1.0 -. eps else 1.0)))
+
+let matrix_range times =
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iter
+    (Array.iter (fun v ->
+         lo := Float.min !lo v;
+         hi := Float.max !hi v))
+    times;
+  (!lo, !hi)
+
+let discretize_with f instance ~levels =
+  if levels < 1 then invalid_arg "Workload.discretize: levels must be >= 1";
+  let times = Instance.times instance in
+  let lo, hi = matrix_range (Array.map (Array.map f) times) in
+  let span = hi -. lo in
+  Array.map
+    (Array.map (fun t ->
+         if span <= 0.0 then 1
+         else begin
+           let x = (f t -. lo) /. span in
+           let level = 1 + int_of_float (Float.round (x *. float_of_int (levels - 1))) in
+           max 1 (min levels level)
+         end))
+    times
+
+let discretize_linear instance ~levels = discretize_with Fun.id instance ~levels
+let discretize_log instance ~levels = discretize_with log instance ~levels
+
+let levels_instance levels =
+  Instance.create ~times:(Array.map (Array.map float_of_int) levels)
+
+let random_levels rng ~n ~m ~w_max =
+  if w_max < 1 then invalid_arg "Workload.random_levels: w_max must be >= 1";
+  Array.init n (fun _ -> Array.init m (fun _ -> 1 + Prng.int rng w_max))

@@ -1,0 +1,53 @@
+(** Synthetic workload generation.
+
+    The paper has no evaluation section, so these generators define the
+    workloads for our experiments (DESIGN.md, experiment index):
+    generic unrelated machines, correlated variants that resemble real
+    clusters, the adversarial family that exhibits MinWork's
+    [n]-approximation lower bound, and discretization into the
+    protocol's bid levels. All generators are deterministic in the
+    supplied PRNG. *)
+
+open Dmw_bigint
+open Dmw_mechanism
+
+val uniform_unrelated :
+  Prng.t -> n:int -> m:int -> lo:float -> hi:float -> Instance.t
+(** Fully unrelated machines: every [t_i^j] iid uniform in [[lo, hi]]. *)
+
+val machine_correlated :
+  Prng.t -> n:int -> m:int -> Instance.t
+(** Near-related machines: [t_i^j = r_j / s_i · noise] with task
+    requirements [r_j ∈ [1, 10]], machine speeds [s_i ∈ [0.5, 2]] and
+    ±20% multiplicative noise — a cluster of broadly comparable
+    machines. *)
+
+val heterogeneous_cluster :
+  Prng.t -> n:int -> m:int -> specialists:int -> Instance.t
+(** A cluster with [specialists] machines that are 5–10× faster on a
+    private subset of the tasks (e.g. GPU nodes on GPU jobs) and
+    mildly slower elsewhere; the motivating scenario for unrelated
+    machines. [specialists <= n]. *)
+
+val adversarial_minwork : n:int -> m:int -> Instance.t
+(** The worst-case family for MinWork's makespan: one machine is
+    marginally fastest on {e every} task, so MinWork (with smallest
+    index tie-breaking) piles all [m] tasks on it while the optimum
+    spreads them; the makespan ratio approaches [min n m] — the
+    [n]-approximation bound of §2.2 is tight at [m = n]. *)
+
+val discretize_linear : Instance.t -> levels:int -> int array array
+(** Map the time matrix onto bid levels [1 .. levels] by linear
+    scaling of the global range. Constant matrices map to level 1. *)
+
+val discretize_log : Instance.t -> levels:int -> int array array
+(** Same, on a logarithmic scale — resolves small times better, which
+    matters because auctions are won at the low end. *)
+
+val levels_instance : int array array -> Instance.t
+(** Re-interpret a level matrix as a scheduling instance (true values =
+    levels), for apples-to-apples comparison of the distributed
+    protocol with the centralized mechanism. *)
+
+val random_levels : Prng.t -> n:int -> m:int -> w_max:int -> int array array
+(** Uniform bid-level matrix for direct protocol tests. *)

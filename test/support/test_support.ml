@@ -1,0 +1,54 @@
+(* Shared helpers for the test suites: qcheck generators for bignums
+   and alcotest testables for the repository's core types. *)
+
+open Dmw_bigint
+
+let bigint_testable = Alcotest.testable Bigint.pp Bigint.equal
+
+(* A positive Bigint with up to [max_bits] bits, biased toward
+   interesting sizes (small values, limb boundaries, large values). *)
+let gen_nat ?(max_bits = 256) () =
+  let open QCheck.Gen in
+  let* choice = int_bound 9 in
+  match choice with
+  | 0 -> map Bigint.of_int (int_bound 2)
+  | 1 ->
+      (* Around the 2^30 limb boundary. *)
+      let* d = int_range (-2) 2 in
+      return (Bigint.add (Bigint.shift_left Bigint.one 30) (Bigint.of_int (max 0 (d + 2))))
+  | 2 ->
+      (* Around the 2^60 double-limb boundary. *)
+      let* d = int_range 0 4 in
+      return (Bigint.add (Bigint.shift_left Bigint.one 60) (Bigint.of_int d))
+  | _ ->
+      let* bits = int_range 1 max_bits in
+      let* seed = int_range 0 max_int in
+      return (Prng.bits (Prng.create ~seed) bits)
+
+let gen_bigint ?max_bits () =
+  let open QCheck.Gen in
+  let* mag = gen_nat ?max_bits () in
+  let* negate = bool in
+  return (if negate then Bigint.neg mag else mag)
+
+let arb_nat ?max_bits () =
+  QCheck.make ~print:Bigint.to_string (gen_nat ?max_bits ())
+
+let arb_bigint ?max_bits () =
+  QCheck.make ~print:Bigint.to_string (gen_bigint ?max_bits ())
+
+(* A nonzero canonical residue mod [q]. *)
+let gen_residue q =
+  let open QCheck.Gen in
+  let* seed = int_range 0 max_int in
+  return (Prng.in_range (Prng.create ~seed) ~lo:Bigint.one ~hi:(Bigint.sub q Bigint.one))
+
+let arb_residue q = QCheck.make ~print:Bigint.to_string (gen_residue q)
+
+let qsuite name tests =
+  (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let check_bigint msg expected actual = Alcotest.check bigint_testable msg expected actual
+
+let small_group () = Dmw_modular.Group.standard ~bits:64
+let tiny_group () = Dmw_modular.Group.standard ~bits:32

@@ -1,0 +1,425 @@
+(* Unit and property tests for the arbitrary-precision substrate:
+   Nat, Bigint and Prng. *)
+
+open Dmw_bigint
+open Test_support
+
+let bi = Bigint.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Nat units                                                           *)
+
+let test_nat_of_to_int () =
+  List.iter
+    (fun v ->
+      Alcotest.(check (option int))
+        (string_of_int v) (Some v)
+        (Nat.to_int (Nat.of_int v)))
+    [ 0; 1; 2; 1073741823; 1073741824; 1 lsl 59; max_int ]
+
+let test_nat_of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative")
+    (fun () -> ignore (Nat.of_int (-1)))
+
+let test_nat_string_roundtrip_known () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Nat.to_string (Nat.of_string s)))
+    [ "0"; "1"; "999999999"; "1000000000"; "123456789012345678901234567890" ]
+
+let test_nat_hex () =
+  Alcotest.(check string) "255" "ff" (Nat.to_hex (Nat.of_int 255));
+  Alcotest.(check string) "hex parse" "500" (Nat.to_string (Nat.of_string "0x1F4"));
+  Alcotest.(check string) "zero" "0" (Nat.to_hex Nat.zero)
+
+let test_nat_underscores () =
+  Alcotest.(check string) "dec" "1000000" (Nat.to_string (Nat.of_string "1_000_000"));
+  Alcotest.(check string) "hex" "4096" (Nat.to_string (Nat.of_string "0x1_000"))
+
+let test_nat_sub_underflow () =
+  Alcotest.check_raises "underflow" (Invalid_argument "Nat.sub: negative result")
+    (fun () -> ignore (Nat.sub (Nat.of_int 3) (Nat.of_int 5)))
+
+let test_nat_compare () =
+  let a = Nat.of_string "123456789012345678901234567890" in
+  let b = Nat.of_string "123456789012345678901234567891" in
+  Alcotest.(check bool) "lt" true (Nat.compare a b < 0);
+  Alcotest.(check bool) "gt" true (Nat.compare b a > 0);
+  Alcotest.(check bool) "eq" true (Nat.compare a a = 0);
+  Alcotest.(check bool) "len" true (Nat.compare (Nat.of_int 5) a < 0)
+
+let test_nat_num_bits () =
+  Alcotest.(check int) "0" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "1" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "2^30" 31 (Nat.num_bits (Nat.of_int (1 lsl 30)));
+  Alcotest.(check int) "2^100"
+    101
+    (Nat.num_bits (Nat.shift_left Nat.one 100))
+
+let test_nat_shift_inverse () =
+  let v = Nat.of_string "987654321987654321987654321" in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shift %d" k)
+        true
+        (Nat.equal v (Nat.shift_right (Nat.shift_left v k) k)))
+    [ 0; 1; 29; 30; 31; 60; 100 ]
+
+let test_nat_divmod_int () =
+  let v = Nat.of_string "123456789012345678901234567890" in
+  let q, r = Nat.divmod_int v 97 in
+  Alcotest.(check bool) "identity" true
+    (Nat.equal v (Nat.add (Nat.mul_int q 97) (Nat.of_int r)))
+
+let test_nat_division_by_zero () =
+  Alcotest.check_raises "div0" Division_by_zero (fun () ->
+      ignore (Nat.divmod Nat.one Nat.zero))
+
+let test_nat_byte_size () =
+  Alcotest.(check int) "zero" 1 (Nat.byte_size Nat.zero);
+  Alcotest.(check int) "255" 1 (Nat.byte_size (Nat.of_int 255));
+  Alcotest.(check int) "256" 2 (Nat.byte_size (Nat.of_int 256))
+
+(* Knuth-D regression: dividends engineered to trigger the qhat
+   adjustment and add-back branches. *)
+let test_nat_knuth_addback () =
+  (* u = b^4 - 1, v = b^2 + 1 in base b = 2^30: forces qhat = b - 1. *)
+  let b = Nat.shift_left Nat.one 30 in
+  let u = Nat.sub (Nat.shift_left Nat.one 120) Nat.one in
+  let v = Nat.add (Nat.mul b b) Nat.one in
+  let q, r = Nat.divmod u v in
+  Alcotest.(check bool) "identity" true (Nat.equal u (Nat.add (Nat.mul q v) r));
+  Alcotest.(check bool) "r < v" true (Nat.compare r v < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint units                                                        *)
+
+let test_bigint_signs () =
+  Alcotest.(check int) "sign+" 1 (Bigint.sign (bi "5"));
+  Alcotest.(check int) "sign-" (-1) (Bigint.sign (bi "-5"));
+  Alcotest.(check int) "sign0" 0 (Bigint.sign Bigint.zero);
+  check_bigint "abs" (bi "5") (Bigint.abs (bi "-5"));
+  check_bigint "neg" (bi "-5") (Bigint.neg (bi "5"))
+
+let test_bigint_add_mixed_signs () =
+  check_bigint "pos+neg" (bi "-2") (Bigint.add (bi "3") (bi "-5"));
+  check_bigint "neg+pos" (bi "2") (Bigint.add (bi "-3") (bi "5"));
+  check_bigint "cancel" Bigint.zero (Bigint.add (bi "7") (bi "-7"))
+
+let test_bigint_euclidean () =
+  (* Remainder always in [0, |b|). *)
+  List.iter
+    (fun (a, b, q, r) ->
+      let q', r' = Bigint.ediv_rem (bi a) (bi b) in
+      check_bigint (a ^ "/" ^ b ^ " q") (bi q) q';
+      check_bigint (a ^ "/" ^ b ^ " r") (bi r) r')
+    [ ("7", "3", "2", "1");
+      ("-7", "3", "-3", "2");
+      ("7", "-3", "-2", "1");
+      ("-7", "-3", "3", "2");
+      ("6", "3", "2", "0");
+      ("-6", "3", "-2", "0") ]
+
+let test_bigint_pow () =
+  check_bigint "2^10" (bi "1024") (Bigint.pow Bigint.two 10);
+  check_bigint "(-2)^3" (bi "-8") (Bigint.pow (bi "-2") 3);
+  check_bigint "x^0" Bigint.one (Bigint.pow (bi "123") 0);
+  check_bigint "10^30"
+    (bi "1000000000000000000000000000000")
+    (Bigint.pow (bi "10") 30)
+
+let test_bigint_string_negative () =
+  Alcotest.(check string) "to" "-42" (Bigint.to_string (bi "-42"));
+  check_bigint "of" (Bigint.of_int (-42)) (bi "-42")
+
+let test_bigint_minmax () =
+  check_bigint "min" (bi "-3") (Bigint.min (bi "-3") (bi "2"));
+  check_bigint "max" (bi "2") (Bigint.max (bi "-3") (bi "2"))
+
+let test_bigint_known_product () =
+  (* Cross-checked against an independent computation. *)
+  check_bigint "product"
+    (bi "121932631137021795226185032733622923332237463801111263526900")
+    (Bigint.mul
+       (bi "123456789012345678901234567890")
+       (bi "987654321098765432109876543210"))
+
+let test_bigint_factorial () =
+  let rec fact n = if n = 0 then Bigint.one else Bigint.mul (Bigint.of_int n) (fact (n - 1)) in
+  check_bigint "25!" (bi "15511210043330985984000000") (fact 25)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let prop_add_comm =
+  QCheck.Test.make ~count:300 ~name:"add commutative"
+    (QCheck.pair (arb_bigint ()) (arb_bigint ()))
+    (fun (a, b) -> Bigint.equal (Bigint.add a b) (Bigint.add b a))
+
+let prop_add_assoc =
+  QCheck.Test.make ~count:300 ~name:"add associative"
+    (QCheck.triple (arb_bigint ()) (arb_bigint ()) (arb_bigint ()))
+    (fun (a, b, c) ->
+      Bigint.equal
+        (Bigint.add a (Bigint.add b c))
+        (Bigint.add (Bigint.add a b) c))
+
+let prop_mul_comm =
+  QCheck.Test.make ~count:300 ~name:"mul commutative"
+    (QCheck.pair (arb_bigint ()) (arb_bigint ()))
+    (fun (a, b) -> Bigint.equal (Bigint.mul a b) (Bigint.mul b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~count:200 ~name:"mul associative"
+    (QCheck.triple (arb_bigint ~max_bits:128 ()) (arb_bigint ~max_bits:128 ())
+       (arb_bigint ~max_bits:128 ()))
+    (fun (a, b, c) ->
+      Bigint.equal
+        (Bigint.mul a (Bigint.mul b c))
+        (Bigint.mul (Bigint.mul a b) c))
+
+let prop_distributive =
+  QCheck.Test.make ~count:300 ~name:"mul distributes over add"
+    (QCheck.triple (arb_bigint ()) (arb_bigint ()) (arb_bigint ()))
+    (fun (a, b, c) ->
+      Bigint.equal
+        (Bigint.mul a (Bigint.add b c))
+        (Bigint.add (Bigint.mul a b) (Bigint.mul a c)))
+
+let prop_sub_add_inverse =
+  QCheck.Test.make ~count:300 ~name:"a - b + b = a"
+    (QCheck.pair (arb_bigint ()) (arb_bigint ()))
+    (fun (a, b) -> Bigint.equal (Bigint.add (Bigint.sub a b) b) a)
+
+let prop_divmod_identity =
+  QCheck.Test.make ~count:500 ~name:"a = q*b + r with 0 <= r < |b|"
+    (QCheck.pair (arb_bigint ~max_bits:320 ()) (arb_bigint ~max_bits:160 ()))
+    (fun (a, b) ->
+      QCheck.assume (not (Bigint.is_zero b));
+      let q, r = Bigint.ediv_rem a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare r Bigint.zero >= 0
+      && Bigint.compare r (Bigint.abs b) < 0)
+
+let prop_mul_div_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"(a*b)/b = a"
+    (QCheck.pair (arb_bigint ~max_bits:256 ()) (arb_bigint ~max_bits:256 ()))
+    (fun (a, b) ->
+      QCheck.assume (not (Bigint.is_zero b));
+      let q, r = Bigint.ediv_rem (Bigint.mul a b) b in
+      (* Euclidean: for negative a with positive remainder conventions
+         the roundtrip is exact since the product is divisible. *)
+      Bigint.equal q a && Bigint.is_zero r)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"of_string . to_string = id"
+    (arb_bigint ~max_bits:400 ())
+    (fun a -> Bigint.equal a (Bigint.of_string (Bigint.to_string a)))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"hex roundtrip"
+    (arb_nat ~max_bits:400 ())
+    (fun a ->
+      Bigint.equal a (Bigint.of_string ("0x" ^ Nat.to_hex (Bigint.to_nat a))))
+
+let prop_compare_consistent_with_sub =
+  QCheck.Test.make ~count:300 ~name:"compare a b = sign (a - b)"
+    (QCheck.pair (arb_bigint ()) (arb_bigint ()))
+    (fun (a, b) ->
+      let c = Bigint.compare a b in
+      let s = Bigint.sign (Bigint.sub a b) in
+      (c > 0) = (s > 0) && (c < 0) = (s < 0) && (c = 0) = (s = 0))
+
+let prop_small_agrees_with_native =
+  QCheck.Test.make ~count:500 ~name:"small values agree with native int"
+    (QCheck.pair (QCheck.int_range (-100000) 100000) (QCheck.int_range (-100000) 100000))
+    (fun (a, b) ->
+      let ba = Bigint.of_int a and bb = Bigint.of_int b in
+      Bigint.to_int_exn (Bigint.add ba bb) = a + b
+      && Bigint.to_int_exn (Bigint.sub ba bb) = a - b
+      && Bigint.to_int_exn (Bigint.mul ba bb) = a * b)
+
+let prop_shift_is_pow2 =
+  QCheck.Test.make ~count:200 ~name:"shift_left = mul by 2^k"
+    (QCheck.pair (arb_nat ~max_bits:200 ()) (QCheck.int_range 0 100))
+    (fun (a, k) ->
+      Bigint.equal (Bigint.shift_left a k) (Bigint.mul a (Bigint.pow Bigint.two k)))
+
+let prop_num_bits_bounds =
+  QCheck.Test.make ~count:300 ~name:"2^(bits-1) <= |a| < 2^bits"
+    (arb_nat ~max_bits:300 ())
+    (fun a ->
+      QCheck.assume (not (Bigint.is_zero a));
+      let b = Bigint.num_bits a in
+      Bigint.compare a (Bigint.shift_left Bigint.one b) < 0
+      && Bigint.compare a (Bigint.shift_left Bigint.one (b - 1)) >= 0)
+
+let prop_testbit_reconstruct =
+  QCheck.Test.make ~count:100 ~name:"testbit reconstructs the value"
+    (arb_nat ~max_bits:100 ())
+    (fun a ->
+      let b = Bigint.num_bits a in
+      let v = ref Bigint.zero in
+      for i = b - 1 downto 0 do
+        v := Bigint.shift_left !v 1;
+        if Bigint.testbit a i then v := Bigint.add !v Bigint.one
+      done;
+      Bigint.equal a !v)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+
+let test_prng_deterministic () =
+  let g1 = Prng.create ~seed:123 and g2 = Prng.create ~seed:123 in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 g1) (Prng.next_int64 g2)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create ~seed:9 in
+  let a = Prng.split g and b = Prng.split g in
+  Alcotest.(check bool) "different" true (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_int_bounds () =
+  let g = Prng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_prng_int_in_range () =
+  let g = Prng.create ~seed:4 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 200 do
+    let v = Prng.int_in_range g ~lo:3 ~hi:7 in
+    Alcotest.(check bool) "in range" true (v >= 3 && v <= 7);
+    seen.(v - 3) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_below () =
+  let g = Prng.create ~seed:4 in
+  let bound = Bigint.of_string "1000000000000000000000000" in
+  for _ = 1 to 100 do
+    let v = Prng.below g bound in
+    Alcotest.(check bool) "in range" true
+      (Bigint.compare v Bigint.zero >= 0 && Bigint.compare v bound < 0)
+  done
+
+let test_prng_bits_width () =
+  let g = Prng.create ~seed:4 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "width" true (Bigint.num_bits (Prng.bits g 128) <= 128)
+  done
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create ~seed:17 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort Stdlib.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_uniformity_chi_square () =
+  (* 64 buckets, 64k draws: chi-square statistic should sit near the
+     63-degree mean; bound it loosely (p ~ 1e-6 tails) so the test is
+     robust but still catches gross bias. *)
+  let g = Prng.create ~seed:987 in
+  let buckets = Array.make 64 0 in
+  let draws = 65536 in
+  for _ = 1 to draws do
+    let v = Prng.int g 64 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = float_of_int draws /. 64.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 buckets
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 = %.1f within [20, 140]" chi2)
+    true
+    (chi2 > 20.0 && chi2 < 140.0)
+
+let test_prng_bit_balance () =
+  (* Each of the 64 output bits should be ~50/50. *)
+  let g = Prng.create ~seed:55 in
+  let ones = Array.make 64 0 in
+  let draws = 4096 in
+  for _ = 1 to draws do
+    let v = Prng.next_int64 g in
+    for b = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical v b) 1L = 1L then
+        ones.(b) <- ones.(b) + 1
+    done
+  done;
+  Array.iteri
+    (fun b c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bit %d balance %d/%d" b c draws)
+        true
+        (c > (draws * 2 / 5) && c < (draws * 3 / 5)))
+    ones
+
+let test_prng_float_range () =
+  let g = Prng.create ~seed:21 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let () =
+  Alcotest.run "dmw_bigint"
+    [ ("nat",
+       [ Alcotest.test_case "of/to int" `Quick test_nat_of_to_int;
+         Alcotest.test_case "of_int negative" `Quick test_nat_of_int_negative;
+         Alcotest.test_case "string roundtrip" `Quick test_nat_string_roundtrip_known;
+         Alcotest.test_case "hex" `Quick test_nat_hex;
+         Alcotest.test_case "underscores" `Quick test_nat_underscores;
+         Alcotest.test_case "sub underflow" `Quick test_nat_sub_underflow;
+         Alcotest.test_case "compare" `Quick test_nat_compare;
+         Alcotest.test_case "num_bits" `Quick test_nat_num_bits;
+         Alcotest.test_case "shift inverse" `Quick test_nat_shift_inverse;
+         Alcotest.test_case "divmod_int" `Quick test_nat_divmod_int;
+         Alcotest.test_case "division by zero" `Quick test_nat_division_by_zero;
+         Alcotest.test_case "byte_size" `Quick test_nat_byte_size;
+         Alcotest.test_case "knuth add-back" `Quick test_nat_knuth_addback ]);
+      ("bigint",
+       [ Alcotest.test_case "signs" `Quick test_bigint_signs;
+         Alcotest.test_case "mixed-sign add" `Quick test_bigint_add_mixed_signs;
+         Alcotest.test_case "euclidean division" `Quick test_bigint_euclidean;
+         Alcotest.test_case "pow" `Quick test_bigint_pow;
+         Alcotest.test_case "negative strings" `Quick test_bigint_string_negative;
+         Alcotest.test_case "min/max" `Quick test_bigint_minmax;
+         Alcotest.test_case "known product" `Quick test_bigint_known_product;
+         Alcotest.test_case "factorial" `Quick test_bigint_factorial ]);
+      qsuite "properties"
+        [ prop_add_comm;
+          prop_add_assoc;
+          prop_mul_comm;
+          prop_mul_assoc;
+          prop_distributive;
+          prop_sub_add_inverse;
+          prop_divmod_identity;
+          prop_mul_div_roundtrip;
+          prop_string_roundtrip;
+          prop_hex_roundtrip;
+          prop_compare_consistent_with_sub;
+          prop_small_agrees_with_native;
+          prop_shift_is_pow2;
+          prop_num_bits_bounds;
+          prop_testbit_reconstruct ];
+      ("prng",
+       [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+         Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+         Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+         Alcotest.test_case "int_in_range" `Quick test_prng_int_in_range;
+         Alcotest.test_case "below" `Quick test_prng_below;
+         Alcotest.test_case "bits width" `Quick test_prng_bits_width;
+         Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+         Alcotest.test_case "chi-square uniformity" `Quick test_prng_uniformity_chi_square;
+         Alcotest.test_case "bit balance" `Quick test_prng_bit_balance;
+         Alcotest.test_case "float range" `Quick test_prng_float_range ]) ]

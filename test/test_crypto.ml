@@ -1,0 +1,380 @@
+(* Tests for the cryptographic layer: Pedersen, Share,
+   Bid_commitments and Exponent_resolution. *)
+
+open Dmw_bigint
+open Dmw_modular
+open Dmw_crypto
+open Test_support
+
+let group = small_group ()
+let q = group.Group.q
+let rng () = Prng.create ~seed:4711
+let alphas n = Array.init n (fun i -> Bigint.of_int (i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Pedersen                                                            *)
+
+let test_pedersen_verify () =
+  let g = rng () in
+  let value = Group.random_exponent group g in
+  let blinding = Group.random_exponent group g in
+  let c = Pedersen.commit group ~value ~blinding in
+  Alcotest.(check bool) "opens" true (Pedersen.verify group c ~value ~blinding);
+  Alcotest.(check bool) "wrong value" false
+    (Pedersen.verify group c ~value:(Bigint.add value Bigint.one) ~blinding);
+  Alcotest.(check bool) "wrong blinding" false
+    (Pedersen.verify group c ~value ~blinding:(Bigint.add blinding Bigint.one))
+
+let test_pedersen_homomorphic () =
+  let g = rng () in
+  let v1 = Group.random_exponent group g and v2 = Group.random_exponent group g in
+  let b1 = Group.random_exponent group g and b2 = Group.random_exponent group g in
+  let c =
+    Pedersen.mul group
+      (Pedersen.commit group ~value:v1 ~blinding:b1)
+      (Pedersen.commit group ~value:v2 ~blinding:b2)
+  in
+  Alcotest.(check bool) "sum opens" true
+    (Pedersen.verify group c ~value:(Bigint.add v1 v2)
+       ~blinding:(Bigint.add b1 b2))
+
+let test_pedersen_blind_only () =
+  let g = rng () in
+  let blinding = Group.random_exponent group g in
+  check_bigint "z2^b"
+    (Group.pow group group.Group.z2 blinding)
+    (Pedersen.to_element (Pedersen.blind_only group ~blinding))
+
+let test_pedersen_hiding_shape () =
+  (* Same value, different blinding: different commitments (the
+     blinding actually enters). *)
+  let g = rng () in
+  let value = Group.random_exponent group g in
+  let c1 = Pedersen.commit group ~value ~blinding:(Group.random_exponent group g) in
+  let c2 = Pedersen.commit group ~value ~blinding:(Group.random_exponent group g) in
+  Alcotest.(check bool) "distinct" false (Pedersen.equal c1 c2)
+
+(* ------------------------------------------------------------------ *)
+(* Bid_commitments                                                     *)
+
+let sigma = 7
+
+let make_dealer ?(tau = 4) () =
+  Bid_commitments.generate (rng ()) ~group ~sigma ~tau
+
+let test_generate_structure () =
+  let d = make_dealer () in
+  Alcotest.(check int) "e degree" 4 (Dmw_poly.Poly.degree d.Bid_commitments.e);
+  Alcotest.(check int) "f degree" (sigma - 4) (Dmw_poly.Poly.degree d.Bid_commitments.f);
+  Alcotest.(check int) "g degree" sigma (Dmw_poly.Poly.degree d.Bid_commitments.g);
+  Alcotest.(check int) "h degree" sigma (Dmw_poly.Poly.degree d.Bid_commitments.h);
+  Alcotest.(check int) "O length" sigma (Array.length d.Bid_commitments.public.o);
+  Alcotest.(check int) "Q length" sigma (Array.length d.Bid_commitments.public.qv);
+  Alcotest.(check int) "R length" sigma (Array.length d.Bid_commitments.public.r);
+  check_bigint "e(0) = 0" Bigint.zero (Dmw_poly.Poly.eval d.Bid_commitments.e Bigint.zero);
+  check_bigint "f(0) = 0" Bigint.zero (Dmw_poly.Poly.eval d.Bid_commitments.f Bigint.zero)
+
+let test_generate_rejects_bad_tau () =
+  List.iter
+    (fun tau ->
+      Alcotest.check_raises (string_of_int tau)
+        (Invalid_argument "Bid_commitments.generate: need 1 <= tau <= sigma - 1")
+        (fun () -> ignore (Bid_commitments.generate (rng ()) ~group ~sigma ~tau)))
+    [ 0; sigma; sigma + 3 ]
+
+let test_share_matches_polynomials () =
+  let d = make_dealer () in
+  let alpha = Bigint.of_int 5 in
+  let s = Bid_commitments.share_for d ~alpha in
+  check_bigint "e" (Dmw_poly.Poly.eval d.Bid_commitments.e alpha) s.Share.e_at;
+  check_bigint "f" (Dmw_poly.Poly.eval d.Bid_commitments.f alpha) s.Share.f_at;
+  check_bigint "g" (Dmw_poly.Poly.eval d.Bid_commitments.g alpha) s.Share.g_at;
+  check_bigint "h" (Dmw_poly.Poly.eval d.Bid_commitments.h alpha) s.Share.h_at
+
+let test_verify_share_accepts_honest () =
+  let d = make_dealer () in
+  Array.iter
+    (fun alpha ->
+      let s = Bid_commitments.share_for d ~alpha in
+      match Bid_commitments.verify_share group d.Bid_commitments.public ~alpha s with
+      | Ok v ->
+          (* The byproducts must match the direct computation. *)
+          check_bigint "gamma"
+            (Group.commit group s.Share.e_at s.Share.h_at)
+            v.Bid_commitments.gamma;
+          check_bigint "phi"
+            (Group.commit group s.Share.f_at s.Share.h_at)
+            v.Bid_commitments.phi
+      | Error e -> Alcotest.failf "rejected honest share: %a" Bid_commitments.pp_error e)
+    (alphas 6)
+
+let test_verify_share_rejects_corruption () =
+  let d = make_dealer () in
+  let alpha = Bigint.of_int 3 in
+  let s = Bid_commitments.share_for d ~alpha in
+  let corrupt_e = { s with Share.e_at = Zmod.add q s.Share.e_at Bigint.one } in
+  let corrupt_f = { s with Share.f_at = Zmod.add q s.Share.f_at Bigint.one } in
+  let corrupt_g = { s with Share.g_at = Zmod.add q s.Share.g_at Bigint.one } in
+  let corrupt_h = { s with Share.h_at = Zmod.add q s.Share.h_at Bigint.one } in
+  let fails s = Result.is_error (Bid_commitments.verify_share group d.Bid_commitments.public ~alpha s) in
+  Alcotest.(check bool) "e tampered" true (fails corrupt_e);
+  Alcotest.(check bool) "f tampered" true (fails corrupt_f);
+  Alcotest.(check bool) "g tampered" true (fails corrupt_g);
+  Alcotest.(check bool) "h tampered" true (fails corrupt_h)
+
+let test_verify_share_wrong_point () =
+  let d = make_dealer () in
+  let s = Bid_commitments.share_for d ~alpha:(Bigint.of_int 3) in
+  Alcotest.(check bool) "wrong alpha" true
+    (Result.is_error
+       (Bid_commitments.verify_share group d.Bid_commitments.public
+          ~alpha:(Bigint.of_int 4) s))
+
+let test_verify_share_error_kind () =
+  (* Product-check failure is reported first. *)
+  let d = make_dealer () in
+  let alpha = Bigint.of_int 2 in
+  let s = Bid_commitments.share_for d ~alpha in
+  let bad = { s with Share.g_at = Zmod.add q s.Share.g_at Bigint.one } in
+  (match Bid_commitments.verify_share group d.Bid_commitments.public ~alpha bad with
+  | Error Bid_commitments.Product_check_failed -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Bid_commitments.pp_error e
+  | Ok _ -> Alcotest.fail "accepted");
+  (* Tampering h alone passes eq. (7) but fails eq. (8). *)
+  let bad_h = { s with Share.h_at = Zmod.add q s.Share.h_at Bigint.one } in
+  match Bid_commitments.verify_share group d.Bid_commitments.public ~alpha bad_h with
+  | Error Bid_commitments.E_check_failed -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Bid_commitments.pp_error e
+  | Ok _ -> Alcotest.fail "accepted"
+
+let test_gamma_phi_public_derivation () =
+  (* gamma_phi (from commitments alone) agrees with the verifier's
+     byproducts. *)
+  let d = make_dealer () in
+  let alpha = Bigint.of_int 4 in
+  let s = Bid_commitments.share_for d ~alpha in
+  let derived = Bid_commitments.gamma_phi group d.Bid_commitments.public ~alpha in
+  match Bid_commitments.verify_share group d.Bid_commitments.public ~alpha s with
+  | Ok v ->
+      check_bigint "gamma" v.Bid_commitments.gamma derived.Bid_commitments.gamma;
+      check_bigint "phi" v.Bid_commitments.phi derived.Bid_commitments.phi
+  | Error _ -> Alcotest.fail "honest share rejected"
+
+let test_aggregate_consistency () =
+  (* Γ̄(α) = Π_ℓ Γ_ℓ(α) for the aggregated vectors. *)
+  let dealers = Array.init 4 (fun i -> Bid_commitments.generate (rng ()) ~group ~sigma ~tau:(i + 2)) in
+  let publics = Array.map (fun d -> d.Bid_commitments.public) dealers in
+  let agg = Bid_commitments.aggregate group publics in
+  let alpha = Bigint.of_int 3 in
+  let via_agg = Bid_commitments.gamma_phi_agg group agg ~alpha in
+  let via_each =
+    Array.fold_left
+      (fun (g_acc, p_acc) public ->
+        let v = Bid_commitments.gamma_phi group public ~alpha in
+        (Group.mul group g_acc v.Bid_commitments.gamma,
+         Group.mul group p_acc v.Bid_commitments.phi))
+      (Group.one, Group.one) publics
+  in
+  check_bigint "gamma agg" (fst via_each) via_agg.Bid_commitments.gamma;
+  check_bigint "phi agg" (snd via_each) via_agg.Bid_commitments.phi;
+  (* Excluding dealer 0 equals aggregating the rest. *)
+  let agg_excl = Bid_commitments.aggregate_exclude group agg publics.(0) in
+  let agg_rest = Bid_commitments.aggregate group (Array.sub publics 1 3) in
+  let a = Bid_commitments.gamma_phi_agg group agg_excl ~alpha in
+  let b = Bid_commitments.gamma_phi_agg group agg_rest ~alpha in
+  check_bigint "excl gamma" b.Bid_commitments.gamma a.Bid_commitments.gamma;
+  check_bigint "excl phi" b.Bid_commitments.phi a.Bid_commitments.phi
+
+let test_byte_sizes () =
+  Alcotest.(check int) "share" 32 (Share.byte_size group);
+  Alcotest.(check int) "public" (3 * sigma * 8)
+    (Bid_commitments.public_byte_size group ~sigma)
+
+let test_commitment_shape_independent_of_tau () =
+  (* The published O/Q/R vectors must look the same for every bid:
+     same lengths, every entry a valid order-q subgroup element — no
+     structural tell for the encoded degree. (Indistinguishability
+     beyond structure is computational.) *)
+  let g = rng () in
+  let shapes =
+    List.map
+      (fun tau ->
+        let d = Bid_commitments.generate g ~group ~sigma ~tau in
+        let p = d.Bid_commitments.public in
+        List.iter
+          (fun vec ->
+            Array.iter
+              (fun c ->
+                let e = Pedersen.to_element c in
+                check_bigint "order-q element" Bigint.one
+                  (Group.pow group e group.Group.q))
+              vec)
+          [ p.Bid_commitments.o; p.Bid_commitments.qv; p.Bid_commitments.r ];
+        (Array.length p.Bid_commitments.o,
+         Array.length p.Bid_commitments.qv,
+         Array.length p.Bid_commitments.r))
+      [ 1; 3; sigma - 1 ]
+  in
+  match shapes with
+  | first :: rest ->
+      List.iter
+        (fun s -> Alcotest.(check bool) "same shape" true (s = first))
+        rest
+  | [] -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Exponent_resolution                                                 *)
+
+(* Build the protocol situation: n agents with bids encoded as degrees
+   tau_i = sigma - y_i; E = sum of e polynomials. *)
+let setup_exponent ~bids =
+  let n = Array.length bids in
+  let g = rng () in
+  let dealers =
+    Array.map (fun y -> Bid_commitments.generate g ~group ~sigma ~tau:(sigma - y)) bids
+  in
+  let points = alphas n in
+  let lambdas =
+    Array.map
+      (fun alpha ->
+        let esum =
+          Array.fold_left
+            (fun acc d ->
+              Zmod.add q acc (Bid_commitments.share_for d ~alpha).Share.e_at)
+            Bigint.zero dealers
+        in
+        Exponent_resolution.lambda group ~e_sum_at:esum)
+      points
+  in
+  (dealers, points, lambdas)
+
+let test_exponent_test_threshold () =
+  let _, points, lambdas = setup_exponent ~bids:[| 3; 2; 5; 4; 2; 3 |] in
+  (* deg E = sigma - 2 = 5. *)
+  for d = 3 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "candidate %d" d)
+      (d >= 5)
+      (Exponent_resolution.test group ~points ~elements:lambdas ~candidate:d)
+  done
+
+let test_exponent_resolve () =
+  let _, points, lambdas = setup_exponent ~bids:[| 3; 2; 5; 4; 2; 3 |] in
+  Alcotest.(check (option int)) "deg E" (Some 5)
+    (Exponent_resolution.resolve group ~points ~elements:lambdas
+       ~candidates:[ 2; 3; 4; 5; 6 ])
+
+let test_exponent_resolve_none () =
+  let _, points, lambdas = setup_exponent ~bids:[| 3; 2; 5 |] in
+  Alcotest.(check (option int)) "no candidate" None
+    (Exponent_resolution.resolve group ~points ~elements:lambdas ~candidates:[ 1; 2 ])
+
+let test_check_lambda_psi () =
+  let bids = [| 3; 2; 4 |] in
+  let dealers, points, _ = setup_exponent ~bids in
+  let k = 1 in
+  let alpha = points.(k) in
+  let esum, hsum =
+    Array.fold_left
+      (fun (e, h) d ->
+        let s = Bid_commitments.share_for d ~alpha in
+        (Zmod.add q e s.Share.e_at, Zmod.add q h s.Share.h_at))
+      (Bigint.zero, Bigint.zero) dealers
+  in
+  let lambda = Exponent_resolution.lambda group ~e_sum_at:esum in
+  let psi = Exponent_resolution.psi group ~h_sum_at:hsum in
+  let gammas =
+    Array.to_list
+      (Array.map
+         (fun d ->
+           (Bid_commitments.gamma_phi group d.Bid_commitments.public ~alpha)
+             .Bid_commitments.gamma)
+         dealers)
+  in
+  Alcotest.(check bool) "valid pair" true
+    (Exponent_resolution.check_lambda_psi group ~gammas ~lambda ~psi);
+  Alcotest.(check bool) "forged lambda" false
+    (Exponent_resolution.check_lambda_psi group ~gammas
+       ~lambda:(Group.mul group lambda group.Group.z1) ~psi)
+
+let test_check_f_disclosure () =
+  let bids = [| 3; 2; 4 |] in
+  let dealers, points, _ = setup_exponent ~bids in
+  let k = 0 in
+  let alpha = points.(k) in
+  let fsum, hsum =
+    Array.fold_left
+      (fun (f, h) d ->
+        let s = Bid_commitments.share_for d ~alpha in
+        (Zmod.add q f s.Share.f_at, Zmod.add q h s.Share.h_at))
+      (Bigint.zero, Bigint.zero) dealers
+  in
+  let psi = Exponent_resolution.psi group ~h_sum_at:hsum in
+  let phis =
+    Array.to_list
+      (Array.map
+         (fun d ->
+           (Bid_commitments.gamma_phi group d.Bid_commitments.public ~alpha)
+             .Bid_commitments.phi)
+         dealers)
+  in
+  Alcotest.(check bool) "valid disclosure" true
+    (Exponent_resolution.check_f_disclosure group ~phis ~f_sum_at:fsum ~psi);
+  Alcotest.(check bool) "tampered sum" false
+    (Exponent_resolution.check_f_disclosure group ~phis
+       ~f_sum_at:(Zmod.add q fsum Bigint.one) ~psi)
+
+let prop_exponent_matches_local =
+  (* Resolution in the exponent agrees with plain-field resolution on
+     the same shares. *)
+  QCheck.Test.make ~count:30 ~name:"exponent resolution = local resolution"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 6 in
+      let bids = Array.init n (fun _ -> 1 + Prng.int g (sigma - 2)) in
+      let dealers =
+        Array.map
+          (fun y -> Bid_commitments.generate g ~group ~sigma ~tau:(sigma - y))
+          bids
+      in
+      let points = alphas n in
+      let esum_at alpha =
+        Array.fold_left
+          (fun acc d -> Zmod.add q acc (Bid_commitments.share_for d ~alpha).Share.e_at)
+          Bigint.zero dealers
+      in
+      let values = Array.map esum_at points in
+      let lambdas = Array.map (fun v -> Exponent_resolution.lambda group ~e_sum_at:v) values in
+      let candidates = List.init n Fun.id in
+      Exponent_resolution.resolve group ~points ~elements:lambdas ~candidates
+      = Dmw_poly.Degree_resolution.resolve ~modulus:q ~points ~values ~candidates)
+
+let () =
+  Alcotest.run "dmw_crypto"
+    [ ("pedersen",
+       [ Alcotest.test_case "commit/verify" `Quick test_pedersen_verify;
+         Alcotest.test_case "homomorphic" `Quick test_pedersen_homomorphic;
+         Alcotest.test_case "blind only" `Quick test_pedersen_blind_only;
+         Alcotest.test_case "blinding enters" `Quick test_pedersen_hiding_shape ]);
+      ("bid commitments",
+       [ Alcotest.test_case "structure" `Quick test_generate_structure;
+         Alcotest.test_case "rejects bad tau" `Quick test_generate_rejects_bad_tau;
+         Alcotest.test_case "share = polynomial eval" `Quick test_share_matches_polynomials;
+         Alcotest.test_case "accepts honest shares" `Quick test_verify_share_accepts_honest;
+         Alcotest.test_case "rejects corruption" `Quick test_verify_share_rejects_corruption;
+         Alcotest.test_case "rejects wrong point" `Quick test_verify_share_wrong_point;
+         Alcotest.test_case "error kinds" `Quick test_verify_share_error_kind;
+         Alcotest.test_case "gamma/phi public derivation" `Quick
+           test_gamma_phi_public_derivation;
+         Alcotest.test_case "aggregation" `Quick test_aggregate_consistency;
+         Alcotest.test_case "shape independent of tau" `Quick
+           test_commitment_shape_independent_of_tau;
+         Alcotest.test_case "byte sizes" `Quick test_byte_sizes ]);
+      ("exponent resolution",
+       [ Alcotest.test_case "threshold" `Quick test_exponent_test_threshold;
+         Alcotest.test_case "resolve" `Quick test_exponent_resolve;
+         Alcotest.test_case "resolve none" `Quick test_exponent_resolve_none;
+         Alcotest.test_case "eq 11 check" `Quick test_check_lambda_psi;
+         Alcotest.test_case "eq 13 check" `Quick test_check_f_disclosure ]);
+      qsuite "crypto properties" [ prop_exponent_matches_local ] ]

@@ -1,0 +1,427 @@
+(* Tests for the centralized mechanism library: Instance, Schedule,
+   Vickrey, Minwork, Optimal, Baselines and Utility. *)
+
+open Dmw_bigint
+open Dmw_mechanism
+open Test_support
+
+let inst rows = Instance.create ~times:(Array.of_list (List.map Array.of_list rows))
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                            *)
+
+let test_instance_validation () =
+  let bad msg times =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Instance.create ~times))
+  in
+  bad "Instance: no agents" [||];
+  bad "Instance: no tasks" [| [||] |];
+  bad "Instance: ragged matrix" [| [| 1.0; 2.0 |]; [| 1.0 |] |];
+  bad "Instance: times must be positive and finite" [| [| 0.0 |] |];
+  bad "Instance: times must be positive and finite" [| [| -1.0 |] |];
+  bad "Instance: times must be positive and finite" [| [| infinity |] |]
+
+let test_instance_accessors () =
+  let i = inst [ [ 1.0; 2.0; 3.0 ]; [ 4.0; 5.0; 6.0 ] ] in
+  Alcotest.(check int) "agents" 2 (Instance.agents i);
+  Alcotest.(check int) "tasks" 3 (Instance.tasks i);
+  Alcotest.(check (float 0.0)) "t_2^3" 6.0 (Instance.time i ~agent:1 ~task:2);
+  Alcotest.(check (array (float 0.0))) "row" [| 1.0; 2.0; 3.0 |] (Instance.row i ~agent:0)
+
+let test_instance_of_requirements () =
+  let i =
+    Instance.of_requirements ~requirements:[| 6.0; 8.0 |]
+      ~speeds:[| [| 2.0; 4.0 |]; [| 3.0; 1.0 |] |]
+  in
+  Alcotest.(check (float 1e-9)) "r/s" 3.0 (Instance.time i ~agent:0 ~task:0);
+  Alcotest.(check (float 1e-9)) "r/s" 2.0 (Instance.time i ~agent:0 ~task:1);
+  Alcotest.(check (float 1e-9)) "r/s" 8.0 (Instance.time i ~agent:1 ~task:1)
+
+let test_instance_immutability () =
+  let times = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let i = Instance.create ~times in
+  times.(0).(0) <- 99.0;
+  Alcotest.(check (float 0.0)) "copied on create" 1.0 (Instance.time i ~agent:0 ~task:0);
+  (Instance.times i).(0).(0) <- 77.0;
+  Alcotest.(check (float 0.0)) "copied on read" 1.0 (Instance.time i ~agent:0 ~task:0)
+
+let test_instance_map_agent () =
+  let i = inst [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  let i' = Instance.map_agent i ~agent:0 (fun t -> t *. 10.0) in
+  Alcotest.(check (float 0.0)) "mapped" 10.0 (Instance.time i' ~agent:0 ~task:0);
+  Alcotest.(check (float 0.0)) "other row untouched" 3.0 (Instance.time i' ~agent:1 ~task:0);
+  Alcotest.(check (float 0.0)) "original untouched" 1.0 (Instance.time i ~agent:0 ~task:0)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule                                                            *)
+
+let test_schedule_partition () =
+  let s = Schedule.create ~agents:3 ~assignment:[| 0; 2; 0; 1 |] in
+  Alcotest.(check (list int)) "S1" [ 0; 2 ] (Schedule.tasks_of s ~agent:0);
+  Alcotest.(check (list int)) "S2" [ 3 ] (Schedule.tasks_of s ~agent:1);
+  Alcotest.(check (list int)) "S3" [ 1 ] (Schedule.tasks_of s ~agent:2);
+  Alcotest.(check int) "agent_of" 2 (Schedule.agent_of s ~task:1)
+
+let test_schedule_metrics () =
+  let times = [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let s = Schedule.create ~agents:2 ~assignment:[| 0; 0; 1 |] in
+  Alcotest.(check (float 1e-9)) "load 0" 3.0 (Schedule.load ~times s ~agent:0);
+  Alcotest.(check (float 1e-9)) "load 1" 6.0 (Schedule.load ~times s ~agent:1);
+  Alcotest.(check (float 1e-9)) "makespan" 6.0 (Schedule.makespan ~times s);
+  Alcotest.(check (float 1e-9)) "total work" 9.0 (Schedule.total_work ~times s)
+
+let test_schedule_rejects_bad_assignment () =
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Schedule.create: bad agent index") (fun () ->
+      ignore (Schedule.create ~agents:2 ~assignment:[| 0; 2 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Vickrey                                                             *)
+
+let test_vickrey_basic () =
+  let o = Vickrey.run [| 5.0; 2.0; 7.0; 3.0 |] in
+  Alcotest.(check int) "winner" 1 o.Vickrey.winner;
+  Alcotest.(check (float 0.0)) "first price" 2.0 o.Vickrey.winning_bid;
+  Alcotest.(check (float 0.0)) "second price" 3.0 o.Vickrey.price
+
+let test_vickrey_tie_first_index () =
+  let o = Vickrey.run [| 3.0; 2.0; 2.0 |] in
+  Alcotest.(check int) "winner" 1 o.Vickrey.winner;
+  Alcotest.(check (list int)) "tied" [ 1; 2 ] o.Vickrey.tied;
+  (* Tie means second price equals the winning bid. *)
+  Alcotest.(check (float 0.0)) "price" 2.0 o.Vickrey.price
+
+let test_vickrey_tie_least_key () =
+  (* Key reverses preference: the higher index wins the tie. *)
+  let o = Vickrey.run ~tie_break:(Vickrey.Least_key (fun i -> -i)) [| 2.0; 2.0; 5.0 |] in
+  Alcotest.(check int) "winner" 1 o.Vickrey.winner
+
+let test_vickrey_tie_random_seeded () =
+  let rng = Prng.create ~seed:3 in
+  let winners =
+    List.init 50 (fun _ ->
+        (Vickrey.run ~tie_break:(Vickrey.Random rng) [| 1.0; 1.0; 1.0 |]).Vickrey.winner)
+  in
+  List.iter (fun w -> Alcotest.(check bool) "valid" true (w >= 0 && w < 3)) winners;
+  Alcotest.(check bool) "not constant" true
+    (List.exists (fun w -> w <> List.hd winners) winners)
+
+let test_vickrey_two_bidders () =
+  let o = Vickrey.run [| 4.0; 9.0 |] in
+  Alcotest.(check int) "winner" 0 o.Vickrey.winner;
+  Alcotest.(check (float 0.0)) "price" 9.0 o.Vickrey.price
+
+let test_vickrey_rejects_single () =
+  Alcotest.check_raises "one bidder"
+    (Invalid_argument "Vickrey.run: need at least two bidders") (fun () ->
+      ignore (Vickrey.run [| 1.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Minwork                                                             *)
+
+let test_minwork_allocation_and_payments () =
+  (* Worked example: 2 agents, 3 tasks. *)
+  let bids = [| [| 1.0; 5.0; 2.0 |]; [| 3.0; 4.0; 6.0 |] |] in
+  let o = Minwork.run bids in
+  Alcotest.(check (array int)) "assignment" [| 0; 1; 0 |]
+    (Schedule.assignment o.Minwork.schedule);
+  (* Agent 0 wins T1 (paid 3) and T3 (paid 6); agent 1 wins T2 (paid 5). *)
+  Alcotest.(check (array (float 0.0))) "payments" [| 9.0; 5.0 |] o.Minwork.payments;
+  Alcotest.(check (float 0.0)) "total" 14.0 (Minwork.total_payment o)
+
+let test_minwork_equals_per_task_vickrey () =
+  let g = Prng.create ~seed:8 in
+  for _ = 1 to 20 do
+    let n = 2 + Prng.int g 5 and m = 1 + Prng.int g 6 in
+    let bids =
+      Array.init n (fun _ -> Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float g)))
+    in
+    let o = Minwork.run bids in
+    for j = 0 to m - 1 do
+      let col = Array.init n (fun i -> bids.(i).(j)) in
+      let v = Vickrey.run col in
+      Alcotest.(check int) "winner" v.Vickrey.winner
+        (Schedule.agent_of o.Minwork.schedule ~task:j)
+    done
+  done
+
+let test_minwork_minimizes_total_work () =
+  (* The allocation minimizes total work over all schedules. *)
+  let g = Prng.create ~seed:9 in
+  for _ = 1 to 10 do
+    let bids = Array.init 3 (fun _ -> Array.init 3 (fun _ -> 1.0 +. (9.0 *. Prng.float g))) in
+    let o = Minwork.run bids in
+    let w = Schedule.total_work ~times:bids o.Minwork.schedule in
+    (* Exhaustive check over all 27 assignments. *)
+    for a = 0 to 2 do
+      for b = 0 to 2 do
+        for c = 0 to 2 do
+          let s = Schedule.create ~agents:3 ~assignment:[| a; b; c |] in
+          Alcotest.(check bool) "minimal" true
+            (w <= Schedule.total_work ~times:bids s +. 1e-9)
+        done
+      done
+    done
+  done
+
+let test_minwork_truthful_utility_nonneg () =
+  let i = inst [ [ 1.0; 5.0; 2.0 ]; [ 3.0; 4.0; 6.0 ]; [ 2.0; 9.0; 4.0 ] ] in
+  Alcotest.(check bool) "voluntary participation" true
+    (Utility.voluntary_participation_holds i)
+
+(* ------------------------------------------------------------------ *)
+(* Optimal                                                             *)
+
+let test_optimal_simple () =
+  (* Identical machines, two unit tasks: optimum spreads them. *)
+  let times = [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let _, mk = Optimal.run times in
+  Alcotest.(check (float 1e-9)) "makespan 1" 1.0 mk
+
+let test_optimal_beats_minwork_on_adversarial () =
+  let i = Dmw_workload.Workload.adversarial_minwork ~n:4 ~m:4 in
+  let times = Instance.times i in
+  let mw = Minwork.run_instance i in
+  let _, opt = Optimal.run times in
+  let mw_makespan = Schedule.makespan ~times mw.Minwork.schedule in
+  Alcotest.(check bool) "ratio close to n" true (mw_makespan /. opt > 3.5)
+
+let test_optimal_is_lower_bounded () =
+  let g = Prng.create ~seed:10 in
+  for _ = 1 to 10 do
+    let times = Array.init 3 (fun _ -> Array.init 5 (fun _ -> 1.0 +. (9.0 *. Prng.float g))) in
+    let s, mk = Optimal.run times in
+    Alcotest.(check (float 1e-9)) "consistent" mk (Schedule.makespan ~times s);
+    Alcotest.(check bool) "above lower bound" true (mk >= Optimal.lower_bound ~times -. 1e-9)
+  done
+
+let test_optimal_brute_force_agreement () =
+  (* Cross-check branch and bound against exhaustive search. *)
+  let g = Prng.create ~seed:11 in
+  for _ = 1 to 10 do
+    let n = 2 + Prng.int g 2 and m = 2 + Prng.int g 3 in
+    let times = Array.init n (fun _ -> Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float g))) in
+    let _, bb = Optimal.run times in
+    (* Exhaustive enumeration. *)
+    let best = ref infinity in
+    let assignment = Array.make m 0 in
+    let rec go j =
+      if j = m then begin
+        let s = Schedule.create ~agents:n ~assignment in
+        best := Float.min !best (Schedule.makespan ~times s)
+      end
+      else
+        for i = 0 to n - 1 do
+          assignment.(j) <- i;
+          go (j + 1)
+        done
+    in
+    go 0;
+    Alcotest.(check (float 1e-9)) "agree" !best bb
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                           *)
+
+let bids33 = [| [| 1.0; 5.0; 2.0 |]; [| 3.0; 4.0; 6.0 |]; [| 2.0; 9.0; 4.0 |] |]
+
+let test_round_robin () =
+  let s = Baselines.round_robin ~bids:bids33 in
+  Alcotest.(check (array int)) "cycle" [| 0; 1; 2 |] (Schedule.assignment s)
+
+let test_random_assignment_valid () =
+  let s = Baselines.random (Prng.create ~seed:3) ~bids:bids33 in
+  Array.iter
+    (fun a -> Alcotest.(check bool) "valid agent" true (a >= 0 && a < 3))
+    (Schedule.assignment s)
+
+let test_min_per_task_matches_minwork () =
+  let s = Baselines.min_per_task ~bids:bids33 in
+  let o = Minwork.run bids33 in
+  Alcotest.(check (array int)) "same allocation"
+    (Schedule.assignment o.Minwork.schedule)
+    (Schedule.assignment s)
+
+let test_greedy_load_bounded () =
+  (* Greedy never exceeds the sum of per-task minima (it can always
+     pick the per-task min machine). *)
+  let g = Prng.create ~seed:12 in
+  for _ = 1 to 10 do
+    let bids = Array.init 4 (fun _ -> Array.init 6 (fun _ -> 1.0 +. (9.0 *. Prng.float g))) in
+    let s = Baselines.greedy_load ~bids in
+    let sum_min = ref 0.0 in
+    for j = 0 to 5 do
+      let m = ref infinity in
+      for i = 0 to 3 do
+        m := Float.min !m bids.(i).(j)
+      done;
+      sum_min := !sum_min +. !m
+    done;
+    Alcotest.(check bool) "bounded" true
+      (Schedule.makespan ~times:bids s <= !sum_min +. 1e-9)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Metrics (frugality / overpayment)                                   *)
+
+let test_metrics_worked_example () =
+  (* bids: T1 costs (1,3), T2 costs (5,4): winners pay 3 and 5,
+     true cost 1 + 4 = 5, payment 8. *)
+  let i = inst [ [ 1.0; 5.0 ]; [ 3.0; 4.0 ] ] in
+  let o = Minwork.run_instance i in
+  Alcotest.(check (float 1e-9)) "cost" 5.0 (Metrics.allocation_cost i o.Minwork.schedule);
+  Alcotest.(check (float 1e-9)) "overpayment" 3.0 (Metrics.overpayment i o);
+  Alcotest.(check (float 1e-9)) "ratio" 1.6 (Metrics.frugality_ratio i o);
+  Alcotest.(check (array (float 1e-9))) "margins" [| 2.0; 1.0 |] (Metrics.per_task_margin o)
+
+let test_competition_gap () =
+  let bids = [| [| 1.0; 5.0 |]; [| 3.0; 4.0 |]; [| 2.0; 9.0 |] |] in
+  Alcotest.(check (float 1e-9)) "T1 gap" 1.0 (Metrics.competition_gap ~bids ~task:0);
+  Alcotest.(check (float 1e-9)) "T2 gap" 1.0 (Metrics.competition_gap ~bids ~task:1)
+
+let prop_frugality_at_least_one =
+  QCheck.Test.make ~count:60 ~name:"frugality ratio >= 1 under truth"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 5 and m = 1 + Prng.int g 5 in
+      let times =
+        Array.init n (fun _ -> Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float g)))
+      in
+      let i = Instance.create ~times in
+      let o = Minwork.run_instance i in
+      Metrics.frugality_ratio i o >= 1.0 -. 1e-9
+      && Metrics.overpayment i o >= -1e-9
+      && Array.for_all (fun margin -> margin >= -1e-9) (Metrics.per_task_margin o))
+
+let prop_more_competition_cheaper_prices =
+  (* The gap itself is NOT monotone (a new uniquely-cheap agent widens
+     it), but both order statistics that set the buyer's price are:
+     adding agents can only lower the winning bid and the second
+     price. *)
+  QCheck.Test.make ~count:40 ~name:"prices weakly fall with more agents"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let m = 1 + Prng.int g 3 in
+      let row () = Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float g)) in
+      let small = Array.init 3 (fun _ -> row ()) in
+      let big = Array.append small [| row (); row () |] in
+      let o_small = Minwork.run small and o_big = Minwork.run big in
+      List.for_all
+        (fun task ->
+          let vs = o_small.Minwork.per_task.(task)
+          and vb = o_big.Minwork.per_task.(task) in
+          vb.Vickrey.winning_bid <= vs.Vickrey.winning_bid +. 1e-9
+          && vb.Vickrey.price <= vs.Vickrey.price +. 1e-9)
+        (List.init m Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Utility / truthfulness                                              *)
+
+let test_utility_decomposition () =
+  let i = inst [ [ 1.0; 5.0 ]; [ 3.0; 4.0 ] ] in
+  let o = Minwork.run_instance i in
+  (* Agent 0 wins T1: utility = 3 - 1 = 2. Agent 1 wins T2: 5 - 4 = 1. *)
+  Alcotest.(check (float 1e-9)) "u0" 2.0 (Utility.utility i ~agent:0 o);
+  Alcotest.(check (float 1e-9)) "u1" 1.0 (Utility.utility i ~agent:1 o);
+  Alcotest.(check (array (float 1e-9))) "vector" [| 2.0; 1.0 |] (Utility.utilities i o)
+
+let test_valuation_negative_of_time () =
+  let i = inst [ [ 1.0; 5.0 ]; [ 3.0; 4.0 ] ] in
+  let s = Schedule.create ~agents:2 ~assignment:[| 0; 0 |] in
+  Alcotest.(check (float 1e-9)) "valuation" (-6.0) (Utility.valuation i ~agent:0 s)
+
+let prop_truthfulness_no_profitable_deviation =
+  QCheck.Test.make ~count:60 ~name:"no profitable unilateral deviation"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 3 and m = 1 + Prng.int g 3 in
+      (* Integer-valued times keep the float comparisons exact. *)
+      let times =
+        Array.init n (fun _ -> Array.init m (fun _ -> float_of_int (1 + Prng.int g 8)))
+      in
+      let i = Instance.create ~times in
+      let levels = Array.init 10 (fun l -> float_of_int (l + 1)) in
+      Array.for_all
+        (fun agent -> Utility.best_deviation i ~agent ~bid_levels:levels = None)
+        (Array.init n Fun.id))
+
+let prop_voluntary_participation =
+  QCheck.Test.make ~count:60 ~name:"truthful agents never lose"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 4 and m = 1 + Prng.int g 5 in
+      let times =
+        Array.init n (fun _ -> Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float g)))
+      in
+      Utility.voluntary_participation_holds (Instance.create ~times))
+
+let prop_minwork_napprox =
+  (* Makespan of MinWork is at most n * OPT (§2.2). *)
+  QCheck.Test.make ~count:30 ~name:"minwork within n of optimal"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 2 and m = 1 + Prng.int g 4 in
+      let times =
+        Array.init n (fun _ -> Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float g)))
+      in
+      let i = Instance.create ~times in
+      let mw = Minwork.run_instance i in
+      let _, opt = Optimal.run times in
+      Schedule.makespan ~times mw.Minwork.schedule <= (float_of_int n *. opt) +. 1e-9)
+
+let () =
+  Alcotest.run "dmw_mechanism"
+    [ ("instance",
+       [ Alcotest.test_case "validation" `Quick test_instance_validation;
+         Alcotest.test_case "accessors" `Quick test_instance_accessors;
+         Alcotest.test_case "of_requirements" `Quick test_instance_of_requirements;
+         Alcotest.test_case "immutability" `Quick test_instance_immutability;
+         Alcotest.test_case "map_agent" `Quick test_instance_map_agent ]);
+      ("schedule",
+       [ Alcotest.test_case "partition" `Quick test_schedule_partition;
+         Alcotest.test_case "metrics" `Quick test_schedule_metrics;
+         Alcotest.test_case "rejects bad assignment" `Quick
+           test_schedule_rejects_bad_assignment ]);
+      ("vickrey",
+       [ Alcotest.test_case "basic" `Quick test_vickrey_basic;
+         Alcotest.test_case "tie first index" `Quick test_vickrey_tie_first_index;
+         Alcotest.test_case "tie least key" `Quick test_vickrey_tie_least_key;
+         Alcotest.test_case "tie random" `Quick test_vickrey_tie_random_seeded;
+         Alcotest.test_case "two bidders" `Quick test_vickrey_two_bidders;
+         Alcotest.test_case "rejects single bidder" `Quick test_vickrey_rejects_single ]);
+      ("minwork",
+       [ Alcotest.test_case "worked example" `Quick test_minwork_allocation_and_payments;
+         Alcotest.test_case "per-task vickrey" `Quick test_minwork_equals_per_task_vickrey;
+         Alcotest.test_case "minimizes total work" `Quick test_minwork_minimizes_total_work;
+         Alcotest.test_case "voluntary participation" `Quick
+           test_minwork_truthful_utility_nonneg ]);
+      ("optimal",
+       [ Alcotest.test_case "simple" `Quick test_optimal_simple;
+         Alcotest.test_case "adversarial family" `Quick
+           test_optimal_beats_minwork_on_adversarial;
+         Alcotest.test_case "lower bound" `Quick test_optimal_is_lower_bounded;
+         Alcotest.test_case "brute force agreement" `Quick
+           test_optimal_brute_force_agreement ]);
+      ("baselines",
+       [ Alcotest.test_case "round robin" `Quick test_round_robin;
+         Alcotest.test_case "random valid" `Quick test_random_assignment_valid;
+         Alcotest.test_case "min per task" `Quick test_min_per_task_matches_minwork;
+         Alcotest.test_case "greedy bounded" `Quick test_greedy_load_bounded ]);
+      ("utility",
+       [ Alcotest.test_case "decomposition" `Quick test_utility_decomposition;
+         Alcotest.test_case "valuation" `Quick test_valuation_negative_of_time ]);
+      ("metrics",
+       [ Alcotest.test_case "worked example" `Quick test_metrics_worked_example;
+         Alcotest.test_case "competition gap" `Quick test_competition_gap ]);
+      qsuite "frugality properties"
+        [ prop_frugality_at_least_one; prop_more_competition_cheaper_prices ];
+      qsuite "game-theoretic properties"
+        [ prop_truthfulness_no_profitable_deviation;
+          prop_voluntary_participation;
+          prop_minwork_napprox ] ]

@@ -1,0 +1,238 @@
+(* Tests for the single-parameter (related machines / divisible load)
+   mechanism library — the paper's future-work direction. *)
+
+open Dmw_oneparam
+
+let levels = [| 1.0; 2.0; 3.0; 4.0 |]
+let total = 12.0
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Allocation rules                                                    *)
+
+let test_winner_take_all_allocation () =
+  let w = (winner_take_all ~total) ~costs:[| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check (array (float 0.0))) "all to cheapest" [| 0.0; 12.0; 0.0 |] w;
+  (* Ties: first index. *)
+  let w = (winner_take_all ~total) ~costs:[| 2.0; 2.0 |] in
+  Alcotest.(check (array (float 0.0))) "tie" [| 12.0; 0.0 |] w
+
+let test_proportional_allocation () =
+  let w = (proportional ~total ~gamma:1.0) ~costs:[| 1.0; 2.0 |] in
+  (* speeds 1 and 1/2: shares 2/3 and 1/3. *)
+  feq "fast" 8.0 w.(0);
+  feq "slow" 4.0 w.(1);
+  feq "conserves total" total (w.(0) +. w.(1));
+  (* gamma = 0 is an equal split regardless of bids. *)
+  let w0 = (proportional ~total ~gamma:0.0) ~costs:[| 1.0; 9.0 |] in
+  feq "gamma 0" 6.0 w0.(0)
+
+let test_equal_split () =
+  let w = (equal_split ~total) ~costs:[| 5.0; 1.0; 2.0 |] in
+  Array.iter (fun x -> feq "third" 4.0 x) w
+
+let test_rules_monotone () =
+  List.iter
+    (fun (name, rule) ->
+      Alcotest.(check bool) name true (is_monotone rule ~levels ~n:3))
+    [ ("winner_take_all", winner_take_all ~total);
+      ("proportional g=1", proportional ~total ~gamma:1.0);
+      ("proportional g=2.5", proportional ~total ~gamma:2.5);
+      ("equal_split", equal_split ~total) ]
+
+let test_non_monotone_detected () =
+  (* A deliberately broken rule: most work to the most expensive. *)
+  let perverse : rule =
+   fun ~costs ->
+    let z = Array.fold_left ( +. ) 0.0 costs in
+    Array.map (fun c -> total *. c /. z) costs
+  in
+  Alcotest.(check bool) "detected" false (is_monotone perverse ~levels ~n:2)
+
+(* ------------------------------------------------------------------ *)
+(* Threshold payments                                                  *)
+
+let test_wta_payments_are_vickrey () =
+  (* Winner-take-all + threshold payments = the discrete Vickrey
+     price: the winner is paid the lowest level at which it would
+     stop winning, times the total work.
+
+     Case A: the runner-up has a smaller index, so at its level the
+     tie breaks against the winner — exit threshold = second-lowest
+     bid. *)
+  let o = run (winner_take_all ~total) ~levels ~bids:[| 1; 0 |] in
+  Alcotest.(check (array (float 1e-9))) "work A" [| 0.0; 12.0 |] o.work;
+  feq "second price" (2.0 *. total) o.payments.(1);
+  feq "loser unpaid" 0.0 o.payments.(0);
+  (* Case B: the runner-up has a larger index, so the winner still
+     wins a tie at the runner-up's level and only exits one level
+     higher. *)
+  let o = run (winner_take_all ~total) ~levels ~bids:[| 2; 0; 3; 1 |] in
+  Alcotest.(check (array (float 1e-9))) "work B" [| 0.0; 12.0; 0.0; 0.0 |] o.work;
+  feq "one level above second price" (3.0 *. total) o.payments.(1);
+  feq "losers unpaid" 0.0 o.payments.(0);
+  feq "losers unpaid" 0.0 o.payments.(2)
+
+let test_equal_split_payments () =
+  (* Work is bid-independent, so everyone is paid at the top level:
+     P_i = c_K * (total/n). *)
+  let bids = [| 0; 3; 1 |] in
+  let o = run (equal_split ~total) ~levels ~bids in
+  Array.iter (fun p -> feq "top-level price" (4.0 *. 4.0) p) o.payments
+
+let test_payment_exceeds_cost () =
+  (* Truthful agents never lose: P_i >= c_i * w_i. *)
+  let g = Dmw_bigint.Prng.create ~seed:5 in
+  List.iter
+    (fun rule ->
+      for _ = 1 to 50 do
+        let n = 2 + Dmw_bigint.Prng.int g 3 in
+        let bids = Array.init n (fun _ -> Dmw_bigint.Prng.int g (Array.length levels)) in
+        let o = run rule ~levels ~bids in
+        Array.iteri
+          (fun i b ->
+            let u = utility o ~agent:i ~true_cost:levels.(b) in
+            Alcotest.(check bool) "non-negative utility" true (u >= -1e-9))
+          bids
+      done)
+    [ winner_take_all ~total; proportional ~total ~gamma:1.0;
+      equal_split ~total ]
+
+let test_truthfulness_exhaustive () =
+  (* No profitable unilateral misreport, for every rule, over random
+     profiles. *)
+  let g = Dmw_bigint.Prng.create ~seed:6 in
+  List.iter
+    (fun (name, rule) ->
+      for _ = 1 to 40 do
+        let n = 2 + Dmw_bigint.Prng.int g 3 in
+        let true_bids =
+          Array.init n (fun _ -> Dmw_bigint.Prng.int g (Array.length levels))
+        in
+        for agent = 0 to n - 1 do
+          match best_deviation rule ~levels ~true_bids ~agent with
+          | None -> ()
+          | Some (r, gain) ->
+              Alcotest.failf "%s: agent %d gains %.3f by reporting level %d"
+                name agent gain r
+        done
+      done)
+    [ ("winner_take_all", winner_take_all ~total);
+      ("proportional g=1", proportional ~total ~gamma:1.0);
+      ("proportional g=3", proportional ~total ~gamma:3.0);
+      ("equal_split", equal_split ~total) ]
+
+let test_validation () =
+  Alcotest.check_raises "empty levels" (Invalid_argument "Oneparam: empty level set")
+    (fun () -> ignore (run (equal_split ~total) ~levels:[||] ~bids:[||]));
+  Alcotest.check_raises "non-increasing levels"
+    (Invalid_argument "Oneparam: levels must be strictly increasing") (fun () ->
+      ignore (run (equal_split ~total) ~levels:[| 2.0; 1.0 |] ~bids:[| 0 |]));
+  Alcotest.check_raises "bid out of range"
+    (Invalid_argument "Oneparam: bid outside the level set") (fun () ->
+      ignore (run (equal_split ~total) ~levels ~bids:[| 9 |]));
+  Alcotest.check_raises "negative gamma"
+    (Invalid_argument "Oneparam.proportional: gamma must be >= 0") (fun () ->
+      let _rule : rule = proportional ~total ~gamma:(-1.0) in
+      ())
+
+(* ------------------------------------------------------------------ *)
+(* Randomized rules: truthful in expectation                           *)
+
+let test_lottery_probabilities_sum_to_one () =
+  let lot = proportional_lottery ~total ~gamma:2.0 in
+  let outcomes = lot ~costs:[| 1.0; 2.0; 4.0 |] in
+  let mass = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 outcomes in
+  feq "total mass" 1.0 mass;
+  List.iter
+    (fun (work, p) ->
+      Alcotest.(check bool) "probability in (0,1]" true (p > 0.0 && p <= 1.0);
+      feq "all-or-nothing support" total (Array.fold_left ( +. ) 0.0 work))
+    outcomes
+
+let test_lottery_expected_work_ordering () =
+  (* Faster machines expect more work; gamma = 0 is uniform. *)
+  let ew g = expected_work (proportional_lottery ~total ~gamma:g) ~costs:[| 1.0; 2.0 |] in
+  let w = ew 1.0 in
+  feq "2:1 split" 8.0 w.(0);
+  feq "2:1 split" 4.0 w.(1);
+  let w0 = ew 0.0 in
+  feq "uniform" 6.0 w0.(0)
+
+let test_lottery_monotone_and_truthful_in_expectation () =
+  List.iter
+    (fun gamma ->
+      let lot = proportional_lottery ~total ~gamma in
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone (gamma %.1f)" gamma)
+        true
+        (is_monotone_expected lot ~levels ~n:3);
+      let g = Dmw_bigint.Prng.create ~seed:8 in
+      for _ = 1 to 25 do
+        let n = 2 + Dmw_bigint.Prng.int g 2 in
+        let true_bids =
+          Array.init n (fun _ -> Dmw_bigint.Prng.int g (Array.length levels))
+        in
+        for agent = 0 to n - 1 do
+          match best_deviation_expected lot ~levels ~true_bids ~agent with
+          | None -> ()
+          | Some (r, gain) ->
+              Alcotest.failf "gamma %.1f: agent %d gains %.4f at level %d" gamma
+                agent gain r
+        done
+      done)
+    [ 0.0; 1.0; 3.0 ]
+
+let test_lottery_interpolates_to_wta () =
+  (* Large gamma concentrates the lottery on the cheapest machine. *)
+  let lot = proportional_lottery ~total ~gamma:30.0 in
+  let w = expected_work lot ~costs:[| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check bool) "cheapest takes (almost) all" true (w.(0) > 0.999 *. total)
+
+(* ------------------------------------------------------------------ *)
+(* Frugality vs makespan trade-off                                     *)
+
+let test_makespan_vs_frugality_tradeoff () =
+  (* Proportional splits the work, so its makespan beats
+     winner-take-all on homogeneous-ish machines, while winner-take-all
+     is (weakly) cheaper for the buyer on this profile. *)
+  let bids = [| 0; 0; 1 |] in
+  let true_costs = Array.map (fun b -> levels.(b)) bids in
+  let wta = run (winner_take_all ~total) ~levels ~bids in
+  let prop = run (proportional ~total ~gamma:1.0) ~levels ~bids in
+  let mk_wta = makespan ~work:wta.work ~true_costs in
+  let mk_prop = makespan ~work:prop.work ~true_costs in
+  Alcotest.(check bool)
+    (Printf.sprintf "proportional faster (%.2f < %.2f)" mk_prop mk_wta)
+    true (mk_prop < mk_wta);
+  Alcotest.(check bool) "wta cheaper" true
+    (total_payment wta <= total_payment prop +. 1e-9)
+
+let test_makespan_metric () =
+  feq "makespan" 6.0 (makespan ~work:[| 2.0; 3.0 |] ~true_costs:[| 3.0; 2.0 |])
+
+let () =
+  Alcotest.run "dmw_oneparam"
+    [ ("allocation rules",
+       [ Alcotest.test_case "winner take all" `Quick test_winner_take_all_allocation;
+         Alcotest.test_case "proportional" `Quick test_proportional_allocation;
+         Alcotest.test_case "equal split" `Quick test_equal_split;
+         Alcotest.test_case "monotonicity" `Quick test_rules_monotone;
+         Alcotest.test_case "non-monotone detected" `Quick test_non_monotone_detected ]);
+      ("threshold payments",
+       [ Alcotest.test_case "wta = vickrey" `Quick test_wta_payments_are_vickrey;
+         Alcotest.test_case "equal split pays top level" `Quick
+           test_equal_split_payments;
+         Alcotest.test_case "voluntary participation" `Quick test_payment_exceeds_cost;
+         Alcotest.test_case "truthfulness" `Quick test_truthfulness_exhaustive;
+         Alcotest.test_case "validation" `Quick test_validation ]);
+      ("randomized (in expectation)",
+       [ Alcotest.test_case "lottery mass" `Quick test_lottery_probabilities_sum_to_one;
+         Alcotest.test_case "expected work" `Quick test_lottery_expected_work_ordering;
+         Alcotest.test_case "monotone + truthful" `Quick
+           test_lottery_monotone_and_truthful_in_expectation;
+         Alcotest.test_case "gamma -> wta" `Quick test_lottery_interpolates_to_wta ]);
+      ("metrics",
+       [ Alcotest.test_case "trade-off" `Quick test_makespan_vs_frugality_tradeoff;
+         Alcotest.test_case "makespan" `Quick test_makespan_metric ]) ]

@@ -1,0 +1,180 @@
+(* Crash-tolerance tests (paper, Open Problem 11 discussion: "as long
+   as the number of agents obeying the protocol remains above a
+   threshold, the mechanism is computable").
+
+   A bid range below its maximum buys headroom: with w_max < n − c − 1
+   every resolution needs at most sigma = w_max + c + 1 < n shares, so
+   n − sigma agents can go silent after the bidding phase and the rest
+   still resolve both prices from the surviving subset. *)
+
+open Dmw_core
+open Dmw_mechanism
+
+(* n = 8, c = 2, w_max = 3 -> sigma = 6: headroom of 2 crashes. *)
+let params =
+  Params.make_exn ~group_bits:64 ~seed:13 ~n:8 ~m:2 ~c:2 ~w_max:3 ()
+
+let bids =
+  [| [| 3; 2 |]; [| 1; 3 |]; [| 3; 3 |]; [| 2; 1 |];
+     [| 3; 2 |]; [| 2; 3 |]; [| 3; 3 |]; [| 2; 2 |] |]
+
+let run ?(seed = 9) ~crashed () =
+  Protocol.run ~seed params ~bids ~keep_events:false
+    ~strategies:(fun i ->
+      if List.mem i crashed then Strategy.Crash_after_bidding
+      else Strategy.Suggested)
+
+let schedule_of r =
+  match r.Protocol.schedule with
+  | Some s -> s
+  | None -> Alcotest.fail "expected a schedule"
+
+let test_headroom_accessor () =
+  Alcotest.(check int) "headroom" 2 (Params.crash_headroom params);
+  let full = Params.make_exn ~group_bits:64 ~n:8 ~m:1 ~c:2 () in
+  Alcotest.(check int) "maximal range has none" 0 (Params.crash_headroom full);
+  (match Params.make ~group_bits:64 ~n:8 ~m:1 ~c:2 ~w_max:6 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "w_max beyond n - c - 1 must be rejected")
+
+let test_no_crash_baseline () =
+  let r = run ~crashed:[] () in
+  Alcotest.(check bool) "completes" true (Protocol.completed r)
+
+let test_one_crash_completes () =
+  let honest = run ~crashed:[] () in
+  let r = run ~crashed:[ 6 ] () in
+  (* The crashed agent cannot report payments, so full completion
+     requires the quorum n - c = 6 <= 7 live reports: satisfied. *)
+  Alcotest.(check bool) "completes" true (Protocol.completed r);
+  Alcotest.(check bool) "same schedule as crash-free run" true
+    (Schedule.equal (schedule_of r) (schedule_of honest))
+
+let test_two_crashes_complete () =
+  let honest = run ~crashed:[] () in
+  let r = run ~crashed:[ 5; 6 ] () in
+  Alcotest.(check bool) "completes" true (Protocol.completed r);
+  Alcotest.(check bool) "same schedule" true
+    (Schedule.equal (schedule_of r) (schedule_of honest))
+
+let test_crashed_agents_bid_still_counts () =
+  (* The crash happens after Phase II: the bid is committed and the
+     crashed agent can still win — the mechanism outcome is computed on
+     the committed bids (its shares live on with the other agents). *)
+  let winner_crash = 3 (* unique minimum on task 2 *) in
+  let r = run ~crashed:[ winner_crash ] () in
+  Alcotest.(check bool) "completes" true (Protocol.completed r);
+  Alcotest.(check int) "crashed agent still wins its auction" winner_crash
+    (Schedule.agent_of (schedule_of r) ~task:1)
+
+let test_three_crashes_exceed_headroom () =
+  (* Three silent agents leave 5 < sigma shares for a first price of 1
+     (needs sigma points): the protocol must stall, not misresolve. *)
+  let r = run ~crashed:[ 4; 5; 6 ] () in
+  Alcotest.(check bool) "does not complete" false (Protocol.completed r);
+  Alcotest.(check bool) "no schedule" true (r.Protocol.schedule = None);
+  Array.iter
+    (fun u -> Alcotest.(check (float 0.0)) "utilities zero" 0.0 u)
+    (Protocol.utilities r ~true_levels:bids)
+
+let test_full_range_has_no_headroom () =
+  (* With the maximal bid range (sigma = n) and a minimum bid of 1, a
+     single crash stalls first-price resolution. *)
+  let p = Params.make_exn ~group_bits:64 ~seed:13 ~n:6 ~m:1 ~c:1 () in
+  let bids = [| [| 3 |]; [| 1 |]; [| 4 |]; [| 2 |]; [| 4 |]; [| 3 |] |] in
+  let r =
+    Protocol.run ~seed:9 p ~bids ~keep_events:false
+      ~strategies:(fun i ->
+        if i = 5 then Strategy.Crash_after_bidding else Strategy.Suggested)
+  in
+  Alcotest.(check bool) "stalls" false (Protocol.completed r);
+  Alcotest.(check bool) "stalled in first-price resolution" true
+    (Array.exists
+       (fun (s : Protocol.agent_status) ->
+         match s.Protocol.aborted with
+         | Some (Audit.Stalled { phase }) -> phase = "first-price resolution"
+         | _ -> false)
+       r.Protocol.statuses)
+
+let test_realized_tolerance_depends_on_prices () =
+  (* Even at full range, an auction whose minimum bid is high needs few
+     shares: with y* = 3, resolution takes sigma - 3 + 1 = n - 2 points,
+     so one crash is survivable on that auction. *)
+  let p = Params.make_exn ~group_bits:64 ~seed:13 ~n:6 ~m:1 ~c:1 () in
+  let bids = [| [| 3 |]; [| 4 |]; [| 4 |]; [| 3 |]; [| 4 |]; [| 4 |] |] in
+  let r =
+    Protocol.run ~seed:9 p ~bids ~keep_events:false
+      ~strategies:(fun i ->
+        if i = 5 then Strategy.Crash_after_bidding else Strategy.Suggested)
+  in
+  Alcotest.(check bool) "completes" true (Protocol.completed r);
+  match r.Protocol.first_prices with
+  | Some fp -> Alcotest.(check int) "first price" 3 fp.(0)
+  | None -> Alcotest.fail "no prices"
+
+let test_crash_equivalence_with_minwork () =
+  (* The surviving outcome is still exactly MinWork on the committed
+     bids. *)
+  let r = run ~crashed:[ 6 ] () in
+  let rank = Params.pseudonym_rank params in
+  let mw =
+    Minwork.run
+      ~tie_break:(Vickrey.Least_key (fun i -> rank.(i)))
+      (Array.map (Array.map float_of_int) bids)
+  in
+  Alcotest.(check bool) "schedule" true
+    (Schedule.equal (schedule_of r) mw.Minwork.schedule);
+  Array.iteri
+    (fun i pay ->
+      match pay with
+      | Some v ->
+          Alcotest.(check (float 0.0)) (Printf.sprintf "payment %d" i)
+            mw.Minwork.payments.(i) v
+      | None -> Alcotest.failf "payment %d withheld" i)
+    r.Protocol.payments
+
+let test_subset_resolution_unit () =
+  (* Exponent_resolution.resolve_present with explicit gaps. *)
+  let open Dmw_bigint in
+  let open Dmw_crypto in
+  let group = Dmw_modular.Group.standard ~bits:64 in
+  let q = group.Dmw_modular.Group.q in
+  let rng = Prng.create ~seed:77 in
+  let poly = Dmw_poly.Poly.random rng ~modulus:q ~degree:4 ~zero_constant:true in
+  let points = Array.init 8 (fun i -> Bigint.of_int (i + 1)) in
+  let elements =
+    Array.mapi
+      (fun k alpha ->
+        (* Agents 2 and 5 crashed. *)
+        if k = 2 || k = 5 then None
+        else Some (Dmw_modular.Group.pow group group.Dmw_modular.Group.z1
+                     (Dmw_poly.Poly.eval poly alpha)))
+      points
+  in
+  Alcotest.(check (option int)) "degree through the gaps" (Some 4)
+    (Exponent_resolution.resolve_present group ~points ~elements
+       ~candidates:[ 2; 3; 4; 5 ]);
+  (* Too many gaps: only 4 points remain, degree 4 needs 5. *)
+  let few = Array.mapi (fun k e -> if k < 4 then e else None) elements in
+  Alcotest.(check (option int)) "insufficient" None
+    (Exponent_resolution.resolve_present group ~points ~elements:few
+       ~candidates:[ 4 ])
+
+let () =
+  Alcotest.run "dmw_resilience"
+    [ ("crash tolerance",
+       [ Alcotest.test_case "headroom accounting" `Quick test_headroom_accessor;
+         Alcotest.test_case "baseline" `Quick test_no_crash_baseline;
+         Alcotest.test_case "one crash" `Quick test_one_crash_completes;
+         Alcotest.test_case "two crashes" `Quick test_two_crashes_complete;
+         Alcotest.test_case "crashed bid still counts" `Quick
+           test_crashed_agents_bid_still_counts;
+         Alcotest.test_case "beyond headroom stalls" `Quick
+           test_three_crashes_exceed_headroom;
+         Alcotest.test_case "full range: no headroom" `Quick
+           test_full_range_has_no_headroom;
+         Alcotest.test_case "high prices survive crashes" `Quick
+           test_realized_tolerance_depends_on_prices;
+         Alcotest.test_case "equivalence under crash" `Quick
+           test_crash_equivalence_with_minwork;
+         Alcotest.test_case "subset resolution" `Quick test_subset_resolution_unit ]) ]

@@ -1,0 +1,97 @@
+(* The concurrent (threaded) runtime: the same agent state machine on
+   real threads must reproduce the simulator's outcome bit-for-bit,
+   and deviations must fail the same way. Outcomes are deterministic
+   even though interleavings are not — that is the point. *)
+
+open Dmw_core
+
+let params = Params.make_exn ~group_bits:64 ~seed:3 ~n:5 ~m:2 ~c:1 ()
+let bids = [| [| 3; 2 |]; [| 1; 3 |]; [| 3; 3 |]; [| 2; 1 |]; [| 3; 2 |] |]
+
+let test_concurrent_matches_simulated () =
+  let sim = Protocol.run ~seed:7 params ~bids ~keep_events:false in
+  let live = Dmw_runtime.Runtime.run ~seed:7 params ~bids in
+  Alcotest.(check bool) "sim completed" true (Protocol.completed sim);
+  Alcotest.(check bool) "live completed" true (Dmw_runtime.Runtime.completed live);
+  (match (sim.Protocol.schedule, live.Dmw_runtime.Runtime.schedule) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "same schedule" true (Dmw_mechanism.Schedule.equal a b)
+  | _ -> Alcotest.fail "missing schedule");
+  Alcotest.(check bool) "same payments" true
+    (sim.Protocol.payments = live.Dmw_runtime.Runtime.payments)
+
+let test_concurrent_outcome_stable_across_runs () =
+  (* Thread interleavings differ run to run; outcomes must not. *)
+  let runs = List.init 3 (fun _ -> Dmw_runtime.Runtime.run ~seed:7 params ~bids) in
+  match runs with
+  | first :: rest ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "completed" true (Dmw_runtime.Runtime.completed r);
+          match (first.Dmw_runtime.Runtime.schedule, r.Dmw_runtime.Runtime.schedule) with
+          | Some a, Some b ->
+              Alcotest.(check bool) "stable schedule" true
+                (Dmw_mechanism.Schedule.equal a b)
+          | _ -> Alcotest.fail "missing schedule")
+        rest
+  | [] -> assert false
+
+let test_concurrent_detects_deviation () =
+  let r =
+    Dmw_runtime.Runtime.run ~seed:7 params ~bids ~timeout:5.0
+      ~strategies:(fun i ->
+        if i = 2 then Strategy.Corrupt_commitments else Strategy.Suggested)
+  in
+  Alcotest.(check bool) "not completed" false (Dmw_runtime.Runtime.completed r);
+  Alcotest.(check bool) "blamed dealer 2" true
+    (List.exists
+       (fun (_, reason) ->
+         match reason with Audit.Bad_share { dealer } -> dealer = 2 | _ -> false)
+       r.Dmw_runtime.Runtime.aborted)
+
+let test_concurrent_disclosure_fallback () =
+  (* The withholding discloser triggers the real-time timeout path. *)
+  let r =
+    Dmw_runtime.Runtime.run ~seed:7 params ~bids ~timeout:10.0
+      ~strategies:(fun i ->
+        if i = 0 then Strategy.Withhold_disclosure else Strategy.Suggested)
+  in
+  Alcotest.(check bool) "completed despite withholding" true
+    (Dmw_runtime.Runtime.completed r)
+
+let test_mailbox_basics () =
+  let box = Dmw_runtime.Mailbox.create () in
+  Dmw_runtime.Mailbox.push box 1;
+  Dmw_runtime.Mailbox.push box 2;
+  Alcotest.(check int) "length" 2 (Dmw_runtime.Mailbox.length box);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Dmw_runtime.Mailbox.pop box);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Dmw_runtime.Mailbox.pop box);
+  Alcotest.(check (option int)) "timeout empty" None
+    (Dmw_runtime.Mailbox.pop ~timeout:0.02 box)
+
+let test_mailbox_cross_thread () =
+  let box = Dmw_runtime.Mailbox.create () in
+  let producer =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.01;
+        Dmw_runtime.Mailbox.push box 42)
+      ()
+  in
+  (* Blocking pop must wake when the producer pushes. *)
+  Alcotest.(check (option int)) "received" (Some 42)
+    (Dmw_runtime.Mailbox.pop ~timeout:2.0 box);
+  Thread.join producer
+
+let () =
+  Alcotest.run "dmw_runtime"
+    [ ("mailbox",
+       [ Alcotest.test_case "fifo and timeout" `Quick test_mailbox_basics;
+         Alcotest.test_case "cross-thread" `Quick test_mailbox_cross_thread ]);
+      ("concurrent protocol",
+       [ Alcotest.test_case "matches simulator" `Quick test_concurrent_matches_simulated;
+         Alcotest.test_case "stable across interleavings" `Slow
+           test_concurrent_outcome_stable_across_runs;
+         Alcotest.test_case "deviation detected" `Quick test_concurrent_detects_deviation;
+         Alcotest.test_case "disclosure fallback in real time" `Slow
+           test_concurrent_disclosure_fallback ]) ]

@@ -1,0 +1,85 @@
+(* Tests for the statistics toolkit. *)
+
+open Dmw_stats
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean_variance () =
+  feq "mean" 3.0 (Stats.mean [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  feq "variance" 2.0 (Stats.variance [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  feq "stddev" (sqrt 2.0) (Stats.stddev [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  feq "constant variance" 0.0 (Stats.variance [ 7.0; 7.0; 7.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean []))
+
+let test_percentiles () =
+  let xs = [ 5.0; 1.0; 4.0; 2.0; 3.0 ] in
+  feq "median" 3.0 (Stats.median xs);
+  feq "p0 -> min" 1.0 (Stats.percentile xs ~p:0.0);
+  feq "p100 -> max" 5.0 (Stats.percentile xs ~p:100.0);
+  feq "p20" 1.0 (Stats.percentile xs ~p:20.0);
+  feq "p80" 4.0 (Stats.percentile xs ~p:80.0);
+  let lo, hi = Stats.min_max xs in
+  feq "min" 1.0 lo;
+  feq "max" 5.0 hi
+
+let test_linear_fit_exact () =
+  (* y = 2x + 1 exactly. *)
+  let pts = List.map (fun x -> (float_of_int x, (2.0 *. float_of_int x) +. 1.0)) [ 0; 1; 2; 5; 9 ] in
+  let f = Stats.linear_fit pts in
+  feq "slope" 2.0 f.Stats.slope;
+  feq "intercept" 1.0 f.Stats.intercept;
+  feq "r2" 1.0 f.Stats.r_square
+
+let test_linear_fit_noise () =
+  (* Noisy but clearly increasing data: slope positive, r2 below 1. *)
+  let pts = [ (1.0, 1.1); (2.0, 1.9); (3.0, 3.2); (4.0, 3.8); (5.0, 5.1) ] in
+  let f = Stats.linear_fit pts in
+  Alcotest.(check bool) "slope near 1" true (Float.abs (f.Stats.slope -. 1.0) < 0.1);
+  Alcotest.(check bool) "good fit" true (f.Stats.r_square > 0.97);
+  Alcotest.(check bool) "not perfect" true (f.Stats.r_square < 1.0)
+
+let test_linear_fit_rejects_degenerate () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Stats.linear_fit: need at least two points") (fun () ->
+      ignore (Stats.linear_fit [ (1.0, 1.0) ]));
+  Alcotest.check_raises "constant x"
+    (Invalid_argument "Stats.linear_fit: constant x") (fun () ->
+      ignore (Stats.linear_fit [ (1.0, 1.0); (1.0, 2.0) ]))
+
+let test_loglog_power_law () =
+  (* y = 3 x^2: exponent 2, and non-positive points are dropped. *)
+  let pts =
+    (0.0, 5.0) :: (2.0, -1.0)
+    :: List.map (fun x -> (float_of_int x, 3.0 *. float_of_int (x * x))) [ 1; 2; 4; 8; 16 ]
+  in
+  let f = Stats.loglog_fit pts in
+  feq "exponent" 2.0 f.Stats.slope;
+  feq "prefactor" (log 3.0) f.Stats.intercept
+
+let test_scaling_exponent () =
+  let xs = [ 2; 4; 8; 16 ] in
+  let ys = List.map (fun x -> float_of_int (x * x * x)) xs in
+  feq "cubic" 3.0 (Stats.scaling_exponent ~xs ~ys)
+
+let test_table_render () =
+  let t = Stats.Table.create ~columns:[ "n"; "value" ] in
+  Stats.Table.add_int_row t [ 1; 100 ];
+  Stats.Table.add_row t [ "22"; "5" ];
+  let rendered = Stats.Table.render t in
+  Alcotest.(check string) "layout" " n  value\n--  -----\n 1    100\n22      5\n" rendered;
+  Alcotest.check_raises "arity" (Invalid_argument "Stats.Table.add_row: wrong arity")
+    (fun () -> Stats.Table.add_row t [ "x" ])
+
+let () =
+  Alcotest.run "dmw_stats"
+    [ ("descriptive",
+       [ Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+         Alcotest.test_case "percentiles" `Quick test_percentiles ]);
+      ("fits",
+       [ Alcotest.test_case "exact line" `Quick test_linear_fit_exact;
+         Alcotest.test_case "noisy line" `Quick test_linear_fit_noise;
+         Alcotest.test_case "degenerate input" `Quick test_linear_fit_rejects_degenerate;
+         Alcotest.test_case "power law" `Quick test_loglog_power_law;
+         Alcotest.test_case "scaling exponent" `Quick test_scaling_exponent ]);
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]) ]

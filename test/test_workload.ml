@@ -1,0 +1,144 @@
+(* Tests for the workload generators. *)
+
+open Dmw_bigint
+open Dmw_mechanism
+open Dmw_workload
+
+let rng () = Prng.create ~seed:606
+
+let test_uniform_bounds () =
+  let i = Workload.uniform_unrelated (rng ()) ~n:5 ~m:8 ~lo:2.0 ~hi:9.0 in
+  Alcotest.(check int) "agents" 5 (Instance.agents i);
+  Alcotest.(check int) "tasks" 8 (Instance.tasks i);
+  Array.iter
+    (Array.iter (fun v ->
+         Alcotest.(check bool) "in bounds" true (v >= 2.0 && v <= 9.0)))
+    (Instance.times i)
+
+let test_uniform_rejects_bad_range () =
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Workload.uniform_unrelated: need 0 < lo <= hi") (fun () ->
+      ignore (Workload.uniform_unrelated (rng ()) ~n:2 ~m:2 ~lo:5.0 ~hi:1.0))
+
+let test_machine_correlated_rows_scale () =
+  (* In a correlated instance fast machines are (noisily) fast across
+     the board: row averages must spread more than within-row noise
+     alone would produce for at least some pairs. *)
+  let i = Workload.machine_correlated (rng ()) ~n:6 ~m:40 in
+  let avg row = Array.fold_left ( +. ) 0.0 row /. float_of_int (Array.length row) in
+  let avgs = Array.map avg (Instance.times i) in
+  let mn = Array.fold_left Float.min avgs.(0) avgs in
+  let mx = Array.fold_left Float.max avgs.(0) avgs in
+  Alcotest.(check bool) "machines differ" true (mx /. mn > 1.2)
+
+let test_heterogeneous_specialists_fast_on_own_tasks () =
+  let n = 6 and m = 12 and specialists = 2 in
+  let i = Workload.heterogeneous_cluster (rng ()) ~n ~m ~specialists in
+  (* Specialist 0 owns the first half of the first specialist slice. *)
+  let owner j = j * specialists / m in
+  for j = 0 to m - 1 do
+    let s = owner j in
+    let specialist_time = Instance.time i ~agent:s ~task:j in
+    for other = specialists to n - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "specialist %d beats generalist %d on task %d" s other j)
+        true
+        (specialist_time < Instance.time i ~agent:other ~task:j)
+    done
+  done
+
+let test_heterogeneous_validation () =
+  Alcotest.check_raises "bad count"
+    (Invalid_argument "Workload.heterogeneous_cluster: bad specialist count")
+    (fun () ->
+      ignore (Workload.heterogeneous_cluster (rng ()) ~n:3 ~m:3 ~specialists:4))
+
+let test_adversarial_ratio_grows () =
+  List.iter
+    (fun n ->
+      let i = Workload.adversarial_minwork ~n ~m:n in
+      let times = Instance.times i in
+      let mw = Minwork.run_instance i in
+      let _, opt = Optimal.run times in
+      let ratio = Schedule.makespan ~times mw.Minwork.schedule /. opt in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d ratio %.2f" n ratio)
+        true
+        (ratio > float_of_int n -. 0.5))
+    [ 2; 3; 4; 5 ]
+
+let test_discretize_linear_range_and_monotone () =
+  let i = Workload.uniform_unrelated (rng ()) ~n:4 ~m:6 ~lo:1.0 ~hi:50.0 in
+  let levels = Workload.discretize_linear i ~levels:8 in
+  let times = Instance.times i in
+  Array.iteri
+    (fun a row ->
+      Array.iteri
+        (fun j l ->
+          Alcotest.(check bool) "in 1..8" true (l >= 1 && l <= 8);
+          (* Monotone: a strictly smaller time never gets a larger level. *)
+          Array.iteri
+            (fun a' row' ->
+              Array.iteri
+                (fun j' l' ->
+                  if times.(a).(j) < times.(a').(j') then
+                    Alcotest.(check bool) "monotone" true (l <= l'))
+                row')
+            levels)
+        row)
+    levels
+
+let test_discretize_constant_matrix () =
+  let i = Instance.create ~times:(Array.make 3 (Array.make 4 5.0)) in
+  let levels = Workload.discretize_linear i ~levels:6 in
+  Array.iter
+    (Array.iter (fun l -> Alcotest.(check int) "all level 1" 1 l))
+    levels
+
+let test_discretize_log_resolves_small_values () =
+  (* Times spanning orders of magnitude: the log scale separates 1 and
+     10 even when 1000 is present; the linear scale maps both to 1. *)
+  let i = Instance.create ~times:[| [| 1.0; 10.0 |]; [| 1000.0; 1000.0 |] |] in
+  let lin = Workload.discretize_linear i ~levels:5 in
+  let log_ = Workload.discretize_log i ~levels:5 in
+  Alcotest.(check int) "linear collapses" lin.(0).(0) lin.(0).(1);
+  Alcotest.(check bool) "log separates" true (log_.(0).(0) < log_.(0).(1))
+
+let test_levels_instance_roundtrip () =
+  let levels = [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let i = Workload.levels_instance levels in
+  Alcotest.(check (float 0.0)) "entry" 3.0 (Instance.time i ~agent:1 ~task:0)
+
+let test_random_levels_in_range () =
+  let levels = Workload.random_levels (rng ()) ~n:5 ~m:20 ~w_max:4 in
+  let seen = Array.make 4 false in
+  Array.iter
+    (Array.iter (fun l ->
+         Alcotest.(check bool) "in W" true (l >= 1 && l <= 4);
+         seen.(l - 1) <- true))
+    levels;
+  Alcotest.(check bool) "all levels occur" true (Array.for_all Fun.id seen)
+
+let test_generators_deterministic () =
+  let i1 = Workload.machine_correlated (Prng.create ~seed:1) ~n:4 ~m:4 in
+  let i2 = Workload.machine_correlated (Prng.create ~seed:1) ~n:4 ~m:4 in
+  Alcotest.(check bool) "equal" true (Instance.times i1 = Instance.times i2)
+
+let () =
+  Alcotest.run "dmw_workload"
+    [ ("generators",
+       [ Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+         Alcotest.test_case "uniform validation" `Quick test_uniform_rejects_bad_range;
+         Alcotest.test_case "machine correlated" `Quick test_machine_correlated_rows_scale;
+         Alcotest.test_case "heterogeneous specialists" `Quick
+           test_heterogeneous_specialists_fast_on_own_tasks;
+         Alcotest.test_case "heterogeneous validation" `Quick test_heterogeneous_validation;
+         Alcotest.test_case "adversarial ratio" `Quick test_adversarial_ratio_grows;
+         Alcotest.test_case "deterministic" `Quick test_generators_deterministic ]);
+      ("discretization",
+       [ Alcotest.test_case "linear range/monotone" `Quick
+           test_discretize_linear_range_and_monotone;
+         Alcotest.test_case "constant matrix" `Quick test_discretize_constant_matrix;
+         Alcotest.test_case "log scale" `Quick test_discretize_log_resolves_small_values;
+         Alcotest.test_case "levels instance" `Quick test_levels_instance_roundtrip;
+         Alcotest.test_case "random levels" `Quick test_random_levels_in_range ]) ]
