@@ -40,9 +40,9 @@ let table1_communication () =
     let p = make_params ~n ~m () in
     let rng = Prng.create ~seed:(n * 131 + m) in
     let bids = uniform_bids rng p in
-    let r = Protocol.run ~seed:5 p ~bids ~keep_events:false in
-    assert (Protocol.completed r);
-    (Trace.messages r.Protocol.trace, Trace.bytes r.Protocol.trace)
+    let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
+    assert (Dmw_exec.completed r);
+    (Trace.messages r.Dmw_exec.trace, Trace.bytes r.Dmw_exec.trace)
   in
   (* MinWork's centralized cost model (Theorem 11 remark): each agent
      sends its m bid values to the center, the center returns the m
@@ -147,7 +147,7 @@ let fig2_message_sequence () =
   section "F2-seq: Fig. 2 / message sequence of one auction";
   let p = make_params ~n:4 ~m:1 () in
   let bids = [| [| 2 |]; [| 1 |]; [| 2 |]; [| 2 |] |] in
-  let r = Protocol.run ~seed:5 p ~bids in
+  let r = Dmw_exec.run ~seed:5 p ~bids in
   Printf.printf
     "(A solid '->' is a private point-to-point message; '=>' is part of a\n\
     \ published message, delivered as unicasts. Node A%d is the payment\n\
@@ -155,8 +155,8 @@ let fig2_message_sequence () =
     (p.Params.n + 1);
   Format.printf "%a@."
     (Trace.pp_sequence ~max_events:200)
-    r.Protocol.trace;
-  Format.printf "per-phase totals:@.%a@." Trace.pp_summary r.Protocol.trace;
+    r.Dmw_exec.trace;
+  Format.printf "per-phase totals:@.%a@." Trace.pp_summary r.Dmw_exec.trace;
   Printf.printf
     "\nexpected phase order (paper Fig. 2): shares/commitments -> lambda_psi\n\
      -> f_disclosure -> lambda_psi_excl -> payment_report\n"
@@ -236,14 +236,14 @@ let deviation_table () =
   let truth =
     [| [| 3; 2 |]; [| 1; 3 |]; [| 4; 4 |]; [| 2; 1 |]; [| 4; 3 |]; [| 3; 4 |] |]
   in
-  let honest = Protocol.run ~seed:4 p ~bids:truth ~keep_events:false in
+  let honest = Dmw_exec.run ~seed:4 p ~bids:truth ~keep_events:false in
   (p, truth, honest)
 
 let faithfulness_utility () =
   section "E-faith: deviator's utility vs following the suggested strategy";
   let p, truth, honest = deviation_table () in
   let deviator = 1 in
-  let u_honest = Protocol.utility honest ~true_levels:truth ~agent:deviator in
+  let u_honest = Dmw_exec.utility honest ~true_levels:truth ~agent:deviator in
   Printf.printf "\ndeviator: agent %d (wins task 1 honestly; honest utility %+.1f)\n\n"
     (deviator + 1) u_honest;
   Printf.printf "%-28s %10s %12s %s\n" "strategy" "utility" "profitable?" "outcome";
@@ -251,17 +251,17 @@ let faithfulness_utility () =
   List.iter
     (fun strategy ->
       let r =
-        Protocol.run ~seed:4 p ~bids:truth ~keep_events:false
+        Dmw_exec.run ~seed:4 p ~bids:truth ~keep_events:false
           ~strategies:(fun i -> if i = deviator then strategy else Strategy.Suggested)
       in
-      let u = Protocol.utility r ~true_levels:truth ~agent:deviator in
+      let u = Dmw_exec.utility r ~true_levels:truth ~agent:deviator in
       if u > u_honest +. 1e-9 then incr violations;
       Printf.printf "%-28s %+10.1f %12s %s\n%!"
         (Strategy.to_string strategy)
         u
         (if u > u_honest +. 1e-9 then "YES (!)" else "no")
-        (if Protocol.completed r then "completed"
-         else if Option.is_some r.Protocol.schedule then "payment withheld"
+        (if Dmw_exec.completed r then "completed"
+         else if Option.is_some r.Dmw_exec.schedule then "payment withheld"
          else "aborted")
     )
     (Strategy.all_deviations ~victim:3);
@@ -279,10 +279,10 @@ let svp_utility () =
   List.iter
     (fun strategy ->
       let r =
-        Protocol.run ~seed:4 p ~bids:truth ~keep_events:false
+        Dmw_exec.run ~seed:4 p ~bids:truth ~keep_events:false
           ~strategies:(fun i -> if i = deviator then strategy else Strategy.Suggested)
       in
-      let us = Protocol.utilities r ~true_levels:truth in
+      let us = Dmw_exec.utilities r ~true_levels:truth in
       let min_honest = ref infinity in
       Array.iteri
         (fun i u -> if i <> deviator then min_honest := Float.min !min_honest u)
@@ -360,13 +360,13 @@ let crash_resilience () =
           (fun crashes ->
             let crashed = List.init crashes (fun k -> n - 1 - k) in
             let r =
-              Protocol.run ~seed:9 p ~bids ~keep_events:false
+              Dmw_exec.run ~seed:9 p ~bids ~keep_events:false
                 ~strategies:(fun i ->
                   if List.mem i crashed then Strategy.Crash_after_bidding
                   else Strategy.Suggested)
             in
-            if Protocol.completed r then "ok"
-            else if Option.is_some r.Protocol.schedule then "sched"
+            if Dmw_exec.completed r then "ok"
+            else if Option.is_some r.Dmw_exec.schedule then "sched"
             else "stall")
           [ 0; 1; 2; 3; 4 ]
       in
@@ -400,17 +400,17 @@ let batching_ablation () =
       let p = make_params ~n ~m () in
       let rng = Prng.create ~seed:(100 + m) in
       let bids = uniform_bids rng p in
-      let plain = Protocol.run ~seed:5 p ~bids ~keep_events:false in
+      let plain = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
       let batched =
-        Protocol.run ~seed:5 p ~bids ~keep_events:false ~batching:true
+        Dmw_exec.run ~seed:5 p ~bids ~keep_events:false ~batching:true
       in
-      assert (Protocol.completed plain && Protocol.completed batched);
-      let pm = Trace.messages plain.Protocol.trace in
-      let bm = Trace.messages batched.Protocol.trace in
+      assert (Dmw_exec.completed plain && Dmw_exec.completed batched);
+      let pm = Trace.messages plain.Dmw_exec.trace in
+      let bm = Trace.messages batched.Dmw_exec.trace in
       Printf.printf "%4d %12d %12d %8.2f %14d %14d\n%!" m pm bm
         (float_of_int pm /. float_of_int bm)
-        (Trace.bytes plain.Protocol.trace)
-        (Trace.bytes batched.Protocol.trace))
+        (Trace.bytes plain.Dmw_exec.trace)
+        (Trace.bytes batched.Dmw_exec.trace))
     [ 1; 2; 4; 8; 16 ]
 
 (* ------------------------------------------------------------------ *)
@@ -433,9 +433,9 @@ let repeated_leakage () =
   (* Posterior analysis via the Leakage module. *)
   let rng = Prng.create ~seed:17 in
   let bids = Workload.random_levels rng ~n ~m ~w_max:w in
-  let r = Protocol.run ~seed:5 p ~bids ~keep_events:false in
+  let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
   let obs =
-    match (r.Protocol.schedule, r.Protocol.first_prices, r.Protocol.second_prices) with
+    match (r.Dmw_exec.schedule, r.Dmw_exec.first_prices, r.Dmw_exec.second_prices) with
     | Some s, Some fp, Some sp ->
         { Leakage.winner = Schedule.agent_of s ~task:0;
           y_star = fp.(0);
@@ -479,10 +479,11 @@ let completion_time () =
       let bids = uniform_bids rng p in
       let time ?bandwidth latency =
         let r =
-          Protocol.run ~seed:5 p ~bids ~keep_events:false ~latency ?bandwidth
+          Dmw_exec.run ~seed:5 p ~bids ~keep_events:false
+            ~backend:(Dmw_exec.sim ~latency ?bandwidth ())
         in
-        assert (Protocol.completed r);
-        r.Protocol.virtual_duration
+        assert (Dmw_exec.completed r);
+        r.Dmw_exec.duration
       in
       let lan = Dmw_sim.Latency.uniform ~seed:1 ~n:(n + 1) ~lo:0.001 ~hi:0.002 in
       Printf.printf "%4d %12.1f ms %12.1f ms %12.1f ms %14.1f ms\n%!" n
@@ -515,8 +516,8 @@ let baseline_comparison () =
       let rng = Prng.create ~seed:(n * 7) in
       let bids = uniform_bids rng p in
       let cb = Dmw_center.run ~n ~m:2 ~c:1 bids in
-      let dmw = Protocol.run ~seed:5 p ~bids ~keep_events:false in
-      assert (Protocol.completed dmw && Option.is_some cb.Dmw_center.schedule);
+      let dmw = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
+      assert (Dmw_exec.completed dmw && Option.is_some cb.Dmw_center.schedule);
       (* Same allocation up to tie-breaking conventions; verify where
          there are no ties by checking payments totals coincide for
          tie-free columns is out of scope here — the equivalence is
@@ -524,8 +525,8 @@ let baseline_comparison () =
       Printf.printf "%4d | %12d %12d | %12d %12d\n%!" n
         (Trace.messages cb.Dmw_center.trace)
         (Trace.bytes cb.Dmw_center.trace)
-        (Trace.messages dmw.Protocol.trace)
-        (Trace.bytes dmw.Protocol.trace))
+        (Trace.messages dmw.Dmw_exec.trace)
+        (Trace.bytes dmw.Dmw_exec.trace))
     [ 4; 8; 12; 16 ];
   Printf.printf
     "\nWhat the factor-n message overhead buys (measured in the test\n\
@@ -617,7 +618,7 @@ let equivalence_check () =
     let n = 5 + Prng.int rng 3 and m = 1 + Prng.int rng 3 in
     let p = make_params ~n ~m () in
     let bids = uniform_bids rng p in
-    let r = Protocol.run ~seed p ~bids ~keep_events:false in
+    let r = Dmw_exec.run ~seed p ~bids ~keep_events:false in
     let rank = Params.pseudonym_rank p in
     let mw =
       Minwork.run
@@ -625,13 +626,13 @@ let equivalence_check () =
         (Array.map (Array.map float_of_int) bids)
     in
     let ok =
-      match r.Protocol.schedule with
+      match r.Dmw_exec.schedule with
       | Some s ->
           Schedule.equal s mw.Minwork.schedule
           && Array.for_all2
                (fun issued expected ->
                  match issued with Some v -> v = expected | None -> false)
-               r.Protocol.payments mw.Minwork.payments
+               r.Dmw_exec.payments mw.Minwork.payments
       | None -> false
     in
     if not ok then incr mismatches
@@ -698,6 +699,50 @@ let micro_crypto () =
       ignore (Dmw_poly.Degree_resolution.resolve_exact ~modulus:q ~points ~values))
 
 (* ------------------------------------------------------------------ *)
+(* A-backend: the same instance on every execution backend             *)
+
+let backend_matrix () =
+  section "A-backend: one instance on every execution backend";
+  let p = make_params ~n:6 ~m:2 () in
+  let rng = Prng.create ~seed:51 in
+  let bids = uniform_bids rng p in
+  Printf.printf
+    "\nSame params, bids and seed on each backend; the harness guarantees\n\
+     bit-identical schedules, prices and payments (n = %d, m = %d):\n\n"
+    p.Params.n p.Params.m;
+  Printf.printf "%-10s %10s %12s %12s %12s\n" "backend" "messages" "bytes"
+    "time (s)" "status";
+  let reference = ref None in
+  List.iter
+    (fun backend ->
+      let t0 = Unix.gettimeofday () in
+      let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false ~backend in
+      let wall = Unix.gettimeofday () -. t0 in
+      let agree =
+        match !reference with
+        | None ->
+            reference := Some r;
+            true
+        | Some r0 ->
+            r.Dmw_exec.schedule = r0.Dmw_exec.schedule
+            && r.Dmw_exec.first_prices = r0.Dmw_exec.first_prices
+            && r.Dmw_exec.second_prices = r0.Dmw_exec.second_prices
+            && r.Dmw_exec.payments = r0.Dmw_exec.payments
+      in
+      Printf.printf "%-10s %10d %12d %12.3f %12s\n%!"
+        (Dmw_exec.backend_name backend)
+        (Trace.messages r.Dmw_exec.trace)
+        (Trace.bytes r.Dmw_exec.trace)
+        wall
+        (if not (Dmw_exec.completed r) then "FAILED"
+         else if agree then "ok"
+         else "MISMATCH (!)"))
+    [ Dmw_exec.sim (); Dmw_exec.threads (); Dmw_exec.socket () ];
+  Printf.printf
+    "\n(sim time is virtual; threads/socket pay real scheduling and, for\n\
+     socket, full Codec + kernel round-trips per message.)\n"
+
+(* ------------------------------------------------------------------ *)
 (* S-scale: a larger run, not part of the default set                  *)
 
 let scale_stress () =
@@ -706,19 +751,19 @@ let scale_stress () =
   let rng = Prng.create ~seed:321 in
   let bids = uniform_bids rng p in
   let t0 = Unix.gettimeofday () in
-  let r = Protocol.run ~seed:5 p ~bids ~keep_events:false in
+  let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
   let dt = Unix.gettimeofday () -. t0 in
-  assert (Protocol.completed r);
+  assert (Dmw_exec.completed r);
   Printf.printf
     "\ncompleted: %d messages, %d bytes, %.2f s wall (%.0f msg/s), every\n\
      agent ran %d+ verification checks.\n"
-    (Trace.messages r.Protocol.trace)
-    (Trace.bytes r.Protocol.trace)
+    (Trace.messages r.Dmw_exec.trace)
+    (Trace.bytes r.Dmw_exec.trace)
     dt
-    (float_of_int (Trace.messages r.Protocol.trace) /. dt)
+    (float_of_int (Trace.messages r.Dmw_exec.trace) /. dt)
     (Array.fold_left
-       (fun acc (s : Protocol.agent_status) -> min acc s.Protocol.checks_performed)
-       max_int r.Protocol.statuses)
+       (fun acc (s : Dmw_exec.agent_status) -> min acc s.Dmw_exec.checks_performed)
+       max_int r.Dmw_exec.statuses)
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -741,6 +786,7 @@ let experiments =
     ("multiunit_check", multiunit_check);
     ("baseline_comparison", baseline_comparison);
     ("completion_time", completion_time);
+    ("backend_matrix", backend_matrix);
     ("frugality", frugality);
     ("equivalence_check", equivalence_check);
     ("micro_crypto", micro_crypto) ]

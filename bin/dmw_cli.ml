@@ -100,10 +100,17 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log protocol phase transitions.")
   in
-  let live =
-    Arg.(value & flag
-         & info [ "live" ]
-             ~doc:"Run on real threads (Dmw_runtime) instead of the simulator.")
+  let backend =
+    Arg.(value & opt (enum [ ("sim", `Sim); ("threads", `Threads); ("socket", `Socket) ]) `Sim
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Execution backend: sim (discrete-event simulator), threads \
+                   (one OS thread per agent), or socket (agents as endpoints \
+                   over Unix-domain sockets).")
+  in
+  let timeout =
+    Arg.(value & opt float 30.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock deadline for the threads/socket backends.")
   in
   let hardened =
     Arg.(value & flag
@@ -111,7 +118,7 @@ let run_cmd =
              ~doc:"Per-entry-verified disclosures (closes the eq. 13 sum gap).")
   in
   let run n m c seed group_bits workload deviant strategy quiet batching verbose
-      live hardened =
+      backend timeout hardened =
     setup_logs verbose;
     let params = make_params ~group_bits ~seed ~n ~m ~c in
     let rng = Prng.create ~seed in
@@ -134,41 +141,35 @@ let run_cmd =
       | None -> fun _ -> Strategy.Suggested
       | Some d -> fun i -> if i = d then strategy else Strategy.Suggested
     in
-    if live then begin
-      let r = Dmw_runtime.Runtime.run ~strategies ~seed params ~bids in
-      Format.printf "@.concurrent run (%d threads): %s in %.3f s wall@."
-        params.Params.n
-        (if Dmw_runtime.Runtime.completed r then "completed" else "failed")
-        r.Dmw_runtime.Runtime.wall_seconds;
-      (match r.Dmw_runtime.Runtime.schedule with
-      | Some s -> Format.printf "%a@." Dmw_mechanism.Schedule.pp s
-      | None ->
-          List.iter
-            (fun (i, reason) ->
-              Format.printf "  agent %d: %a@." i Audit.pp_reason reason)
-            r.Dmw_runtime.Runtime.aborted);
-      exit (if Dmw_runtime.Runtime.completed r then 0 else 1)
-    end;
-    let result = Protocol.run ~strategies ~seed ~batching ~hardened params ~bids in
-    Format.printf "@.%a@." Protocol.pp_summary result;
+    let backend =
+      match backend with
+      | `Sim -> Dmw_exec.sim ()
+      | `Threads -> Dmw_exec.threads ~timeout ()
+      | `Socket -> Dmw_exec.socket ~timeout ()
+    in
+    let result =
+      Dmw_exec.run ~strategies ~seed ~batching ~hardened ~backend params ~bids
+    in
+    Format.printf "@.%a@." Dmw_exec.pp_summary result;
     let rank = Params.pseudonym_rank params in
     let mw =
       Dmw_mechanism.Minwork.run
         ~tie_break:(Dmw_mechanism.Vickrey.Least_key (fun i -> rank.(i)))
         (Array.map (Array.map float_of_int) bids)
     in
-    (match result.Protocol.schedule with
+    (match result.Dmw_exec.schedule with
     | Some s ->
         let times = Dmw_mechanism.Instance.times instance in
         Format.printf "@.makespan (true times): DMW %.2f, centralized MinWork %.2f@."
           (Dmw_mechanism.Schedule.makespan ~times s)
           (Dmw_mechanism.Schedule.makespan ~times mw.Dmw_mechanism.Minwork.schedule)
     | None -> ());
-    if Protocol.completed result then 0 else 1
+    if Dmw_exec.completed result then 0 else 1
   in
   let term =
     Term.(const run $ n_arg $ m_arg $ c_arg $ seed_arg $ bits_arg $ workload
-          $ deviant $ strategy $ quiet $ batching $ verbose $ live $ hardened)
+          $ deviant $ strategy $ quiet $ batching $ verbose $ backend $ timeout
+          $ hardened)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the distributed mechanism on a generated instance.")
@@ -191,11 +192,11 @@ let sweep_cmd =
       let bids =
         Dmw_workload.Workload.random_levels rng ~n:!n ~m ~w_max:params.Params.w_max
       in
-      let r = Protocol.run ~seed params ~bids ~keep_events:false in
+      let r = Dmw_exec.run ~seed params ~bids ~keep_events:false in
       let cost = Direct.agent_cost params ~bids ~agent:0 in
       Printf.printf "%4d %10d %12d %12d %12d\n%!" !n
-        (Dmw_sim.Trace.messages r.Protocol.trace)
-        (Dmw_sim.Trace.bytes r.Protocol.trace)
+        (Dmw_sim.Trace.messages r.Dmw_exec.trace)
+        (Dmw_sim.Trace.bytes r.Dmw_exec.trace)
         cost.Direct.multiplications cost.Direct.exponentiations;
       n := !n + 4
     done;
@@ -252,9 +253,9 @@ let trace_cmd =
     let bids =
       Dmw_workload.Workload.random_levels rng ~n ~m:1 ~w_max:params.Params.w_max
     in
-    let r = Protocol.run ~seed params ~bids in
-    Format.printf "%a@." (Dmw_sim.Trace.pp_sequence ~max_events:limit) r.Protocol.trace;
-    Format.printf "%a@." Dmw_sim.Trace.pp_summary r.Protocol.trace;
+    let r = Dmw_exec.run ~seed params ~bids in
+    Format.printf "%a@." (Dmw_sim.Trace.pp_sequence ~max_events:limit) r.Dmw_exec.trace;
+    Format.printf "%a@." Dmw_sim.Trace.pp_summary r.Dmw_exec.trace;
     0
   in
   let term = Term.(const trace $ n_arg $ c_arg $ seed_arg $ bits_arg $ limit) in
@@ -281,12 +282,12 @@ let compare_cmd =
     in
     let dmw name ?(batching = false) ?(hardened = false) notes =
       let r =
-        Protocol.run ~seed ~batching ~hardened params ~bids ~keep_events:false
+        Dmw_exec.run ~seed ~batching ~hardened params ~bids ~keep_events:false
       in
       row name
-        (Dmw_sim.Trace.messages r.Protocol.trace)
-        (Dmw_sim.Trace.bytes r.Protocol.trace)
-        (Protocol.completed r) notes
+        (Dmw_sim.Trace.messages r.Dmw_exec.trace)
+        (Dmw_sim.Trace.bytes r.Dmw_exec.trace)
+        (Dmw_exec.completed r) notes
     in
     dmw "DMW" "fully distributed, private bids";
     dmw "DMW --batching" ~batching:true "same bytes, Θ(n²) envelopes";

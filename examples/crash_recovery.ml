@@ -18,7 +18,7 @@ let bids =
      [| 3; 2 |]; [| 2; 3 |]; [| 3; 3 |]; [| 2; 2 |] |]
 
 let run params ~crashed =
-  Protocol.run ~seed:9 params ~bids ~keep_events:false
+  Dmw_exec.run ~seed:9 params ~bids ~keep_events:false
     ~strategies:(fun i ->
       if List.mem i crashed then Strategy.Crash_after_bidding
       else Strategy.Suggested)
@@ -28,16 +28,16 @@ let describe label params ~crashed =
   Format.printf "%-34s  crashed=%d  headroom=%d  ->  %s@." label
     (List.length crashed)
     (Params.crash_headroom params)
-    (if Protocol.completed r then "completed"
+    (if Dmw_exec.completed r then "completed"
      else
        match
          Array.find_opt
-           (fun (s : Protocol.agent_status) -> Option.is_some s.Protocol.aborted)
-           r.Protocol.statuses
+           (fun (s : Dmw_exec.agent_status) -> Option.is_some s.Dmw_exec.aborted)
+           r.Dmw_exec.statuses
        with
        | Some s ->
            Format.asprintf "failed (%a)" Audit.pp_reason
-             (Option.get s.Protocol.aborted)
+             (Option.get s.Dmw_exec.aborted)
        | None -> "failed");
   r
 
@@ -59,7 +59,7 @@ let () =
   let baseline = describe "w_max = 3" roomy ~crashed:[] in
   let survived = describe "w_max = 3" roomy ~crashed:[ 5; 6 ] in
 
-  (match (baseline.Protocol.schedule, survived.Protocol.schedule) with
+  (match (baseline.Dmw_exec.schedule, survived.Dmw_exec.schedule) with
   | Some a, Some b when Dmw_mechanism.Schedule.equal a b ->
       Format.printf
         "@.The surviving agents computed the SAME schedule and payments the@.";

@@ -33,9 +33,9 @@ let () =
     levels;
 
   (* Distributed execution. *)
-  let result = Protocol.run params ~bids:levels ~seed:11 ~keep_events:false in
+  let result = Dmw_exec.run params ~bids:levels ~seed:11 ~keep_events:false in
   Format.printf "@.=== distributed MinWork (no trusted center) ===@.%a@.@."
-    Protocol.pp_summary result;
+    Dmw_exec.pp_summary result;
 
   (* Compare the allocation quality against centralized alternatives,
      all evaluated on the true (continuous) times. *)
@@ -45,7 +45,7 @@ let () =
       (Schedule.makespan ~times schedule)
       (Schedule.total_work ~times schedule)
   in
-  (match result.Protocol.schedule with
+  (match result.Dmw_exec.schedule with
   | Some s -> evaluate "DMW (distributed)" s
   | None -> Format.printf "DMW did not complete@.");
   let mw = Minwork.run_instance instance in
@@ -59,7 +59,7 @@ let () =
     n;
 
   (* The specialists should have won their own jobs. *)
-  match result.Protocol.schedule with
+  match result.Dmw_exec.schedule with
   | Some s ->
       Format.printf "@.job placement:@.";
       for j = 0 to m - 1 do

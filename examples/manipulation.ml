@@ -19,10 +19,10 @@ let truth =
 
 let cheater = 1
 
-let utility_of result = Protocol.utility result ~true_levels:truth ~agent:cheater
+let utility_of result = Dmw_exec.utility result ~true_levels:truth ~agent:cheater
 
 let () =
-  let honest = Protocol.run params ~bids:truth ~seed:4 ~keep_events:false in
+  let honest = Dmw_exec.run params ~bids:truth ~seed:4 ~keep_events:false in
   let u_honest = utility_of honest in
   Format.printf "=== baseline: everyone honest ===@.";
   Format.printf "agent %d wins task 1 at the second price and earns %+.1f@.@."
@@ -34,7 +34,7 @@ let () =
     (fun lie ->
       let bids = Array.map Array.copy truth in
       bids.(cheater).(0) <- lie;
-      let r = Protocol.run params ~bids ~seed:4 ~keep_events:false in
+      let r = Dmw_exec.run params ~bids ~seed:4 ~keep_events:false in
       let u = utility_of r in
       Format.printf "  bid %d instead of %d -> utility %+.1f (honest: %+.1f)%s@."
         lie
@@ -52,20 +52,20 @@ let () =
   List.iter
     (fun strategy ->
       let r =
-        Protocol.run params ~bids:truth ~seed:4 ~keep_events:false
+        Dmw_exec.run params ~bids:truth ~seed:4 ~keep_events:false
           ~strategies:(fun i -> if i = cheater then strategy else Strategy.Suggested)
       in
       let u = utility_of r in
       let fate =
-        if Protocol.completed r then "protocol completed"
-        else if Option.is_some r.Protocol.schedule then
+        if Dmw_exec.completed r then "protocol completed"
+        else if Option.is_some r.Dmw_exec.schedule then
           "completed; cheater's payment withheld"
         else begin
           let blame =
-            Array.to_list r.Protocol.statuses
-            |> List.filter_map (fun (s : Protocol.agent_status) ->
-                   match s.Protocol.aborted with
-                   | Some reason when s.Protocol.agent <> cheater ->
+            Array.to_list r.Dmw_exec.statuses
+            |> List.filter_map (fun (s : Dmw_exec.agent_status) ->
+                   match s.Dmw_exec.aborted with
+                   | Some reason when s.Dmw_exec.agent <> cheater ->
                        Some (Format.asprintf "%a" Audit.pp_reason reason)
                    | _ -> None)
           in

@@ -27,12 +27,12 @@ let () =
 
   (* Phases II-IV: the agents run one distributed Vickrey auction per
      task over the simulated network; no trusted center is involved. *)
-  let result = Protocol.run params ~bids ~seed:7 in
-  Format.printf "%a@.@." Protocol.pp_summary result;
+  let result = Dmw_exec.run params ~bids ~seed:7 in
+  Format.printf "%a@.@." Dmw_exec.pp_summary result;
 
   (* The winner of each task is paid the second-lowest bid; truthful
      agents never lose (strong voluntary participation). *)
-  let utilities = Protocol.utilities result ~true_levels:bids in
+  let utilities = Dmw_exec.utilities result ~true_levels:bids in
   Array.iteri
     (fun i u -> Format.printf "utility of agent %d: %+.1f@." (i + 1) u)
     utilities;
@@ -40,4 +40,4 @@ let () =
   (* The message trace doubles as a cost profile (Table 1 of the
      paper): DMW exchanges Theta(m n^2) point-to-point messages. *)
   Format.printf "@.per-phase message counts:@.%a@."
-    Dmw_sim.Trace.pp_summary result.Protocol.trace
+    Dmw_sim.Trace.pp_summary result.Dmw_exec.trace

@@ -54,11 +54,11 @@ let () =
   (* Every machine bids its cost level on every chunk. Levels are the
      same published set, offset by one because W starts at 1. *)
   let bids = Array.map (fun b -> Array.make m (b + 1)) true_bids in
-  let r = Protocol.run ~seed:3 params ~bids ~keep_events:false in
-  assert (Protocol.completed r);
+  let r = Dmw_exec.run ~seed:3 params ~bids ~keep_events:false in
+  assert (Dmw_exec.completed r);
   let work = Array.make n 0.0 in
   let payments = Array.make n 0.0 in
-  (match (r.Protocol.schedule, r.Protocol.second_prices) with
+  (match (r.Dmw_exec.schedule, r.Dmw_exec.second_prices) with
   | Some s, Some sp ->
       for j = 0 to m - 1 do
         let w = Dmw_mechanism.Schedule.agent_of s ~task:j in
@@ -69,8 +69,8 @@ let () =
   | _ -> assert false);
   print_outcome "chunked DMW" ~work ~payments;
   Format.printf "  messages: %d, bytes: %d@."
-    (Dmw_sim.Trace.messages r.Protocol.trace)
-    (Dmw_sim.Trace.bytes r.Protocol.trace);
+    (Dmw_sim.Trace.messages r.Dmw_exec.trace)
+    (Dmw_sim.Trace.bytes r.Dmw_exec.trace);
 
   Format.printf
     "@.All chunks go to the cheapest machine, matching winner-take-all's@.";

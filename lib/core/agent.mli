@@ -57,14 +57,14 @@ val create :
     false) disclosures carry the matching [h] shares and are verified
     {e per entry} — see {!Messages.F_disclosure_hardened}. All agents
     of a run must agree on these flags (they are protocol parameters
-    in spirit; [Protocol.run] sets them uniformly). *)
+    in spirit; [Dmw_exec.run] sets them uniformly). *)
 
-(** How an agent talks to the world. The protocol layer builds one
-    from the discrete-event engine; the threaded runtime
-    ([Dmw_runtime]) builds one from real mailboxes and timers. All
-    callbacks into the agent ({!handle} and scheduled actions) must be
-    serialized per agent — the simulator is single-threaded and the
-    runtime routes timer ticks through the agent's own mailbox. *)
+(** How an agent talks to the world. [Dmw_exec]'s backends build one
+    each: from the discrete-event engine, from real mailboxes and
+    timers, or from a socket endpoint's event loop. All callbacks into
+    the agent ({!handle} and scheduled actions) must be serialized per
+    agent — the simulator is single-threaded, and the real-time
+    backends route timer ticks through the agent's own event loop. *)
 type transport = {
   send : dst:int -> tag:string -> bytes:int -> Messages.t -> unit;
   schedule : delay:float -> (unit -> unit) -> unit;

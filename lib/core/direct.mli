@@ -20,7 +20,7 @@ type outcome = {
 
 val run : ?seed:int -> Params.t -> bids:int array array -> outcome
 (** Honest execution; identical outcome to a completed
-    {!Protocol.run} on the same params/bids (asserted by tests). *)
+    [Dmw_exec.run] on the same params/bids (asserted by tests). *)
 
 type cost = {
   multiplications : int;  (** Modular multiplications (incl. squarings). *)

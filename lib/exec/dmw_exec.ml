@@ -1,0 +1,407 @@
+open Dmw_bigint
+open Dmw_core
+module Trace = Dmw_sim.Trace
+module Engine = Dmw_sim.Engine
+module Mailbox = Dmw_runtime.Mailbox
+module Timer = Dmw_runtime.Timer
+module Frame = Dmw_net.Frame
+module Fabric = Dmw_net.Fabric
+module Endpoint = Dmw_net.Endpoint
+
+(* ------------------------------------------------------------------ *)
+(* The unified result                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type agent_status = {
+  agent : int;
+  strategy : Strategy.t;
+  aborted : Audit.reason option;
+  outcomes : Agent.task_outcome option array;
+  checks_performed : int;
+}
+
+type result = {
+  params : Params.t;
+  backend : string;
+  schedule : Dmw_mechanism.Schedule.t option;
+  first_prices : int array option;
+  second_prices : int array option;
+  payments : float option array;
+  statuses : agent_status array;
+  trace : Trace.t;
+  duration : float;
+}
+
+type info = { trace : Trace.t; duration : float }
+
+(* ------------------------------------------------------------------ *)
+(* The backend interface                                               *)
+(* ------------------------------------------------------------------ *)
+
+module type BACKEND = sig
+  type config
+
+  val name : string
+
+  val execute :
+    config ->
+    params:Params.t ->
+    seed:int ->
+    keep_events:bool ->
+    agents:Agent.t array ->
+    report:(src:int -> float array -> unit) ->
+    info
+end
+
+type backend = Backend : (module BACKEND with type config = 'c) * 'c -> backend
+
+(* ------------------------------------------------------------------ *)
+(* Backend: discrete-event simulator                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Sim_backend = struct
+  type config = {
+    fault : Dmw_sim.Fault.t;
+    latency : Dmw_sim.Latency.t option;
+    bandwidth : float option;
+    jitter : float option;
+    duplicate : float option;
+  }
+
+  let name = "sim"
+
+  let execute cfg ~params ~seed ~keep_events ~agents ~report =
+    let n = params.Params.n in
+    (* Node n is the payment infrastructure. *)
+    let eng =
+      Engine.create ~seed ~fault:cfg.fault ~keep_events ?latency:cfg.latency
+        ?bandwidth:cfg.bandwidth ?jitter:cfg.jitter ?duplicate:cfg.duplicate
+        ~nodes:(n + 1) ()
+    in
+    let transports =
+      Array.init n (fun i -> Agent.transport_of_engine eng ~id:i)
+    in
+    for i = 0 to n - 1 do
+      Engine.on_message eng ~node:i (fun _ d ->
+          Agent.handle transports.(i) agents.(i) ~src:d.Engine.src
+            d.Engine.payload)
+    done;
+    Engine.on_message eng ~node:n (fun _ d ->
+        match d.Engine.payload with
+        | Messages.Payment_report { payments } -> report ~src:d.Engine.src payments
+        | _ -> ());
+    Engine.at eng ~time:0.0 (fun () ->
+        Array.iteri (fun i a -> Agent.start transports.(i) a) agents);
+    Engine.run eng;
+    (* The engine's final clock includes trailing no-op timeout checks;
+       the last transmitted message marks actual protocol activity. *)
+    { trace = Engine.trace eng;
+      duration = Trace.last_time (Engine.trace eng) }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shared machinery of the real-time backends                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A trace fed concurrently by every agent thread; event times are
+   wall-clock seconds since the run started. *)
+let concurrent_trace ~keep_events =
+  let trace = Trace.create ~keep_events () in
+  let mutex = Mutex.create () in
+  let t0 = Unix.gettimeofday () in
+  let record ~src ~dst ~tag ~bytes =
+    Mutex.lock mutex;
+    Trace.record trace
+      { Trace.time = Unix.gettimeofday () -. t0; src; dst; tag; bytes;
+        broadcast = false };
+    Mutex.unlock mutex
+  in
+  (trace, t0, record)
+
+(* Drain payment reports until every agent reported once or the
+   deadline passes (a stalled run — some agent aborted — never
+   produces all n reports). [next] blocks up to the given number of
+   seconds for one report. *)
+let collect_reports ~n ~deadline ~report next =
+  let received = Hashtbl.create n in
+  let continue_ = ref true in
+  while !continue_ && Hashtbl.length received < n do
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then continue_ := false
+    else
+      match next remaining with
+      | None -> continue_ := false
+      | Some (src, payments) ->
+          if src >= 0 && src < n && not (Hashtbl.mem received src) then begin
+            Hashtbl.replace received src ();
+            report ~src payments
+          end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Backend: shared-memory threads                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Thread_backend = struct
+  type config = { timeout : float }
+
+  let name = "threads"
+
+  type event = Deliver of { src : int; msg : Messages.t } | Act of (unit -> unit)
+
+  let execute cfg ~params ~seed:_ ~keep_events ~agents ~report =
+    let n = params.Params.n in
+    let trace, t0, record = concurrent_trace ~keep_events in
+    let boxes = Array.init n (fun _ -> Mailbox.create ()) in
+    let reports : (int * float array) Mailbox.t = Mailbox.create () in
+    let timer = Timer.create () in
+    let transports =
+      Array.init n (fun i ->
+          { Agent.send =
+              (fun ~dst ~tag ~bytes msg ->
+                record ~src:i ~dst ~tag ~bytes;
+                if dst = n then
+                  match msg with
+                  | Messages.Payment_report { payments } ->
+                      Mailbox.push reports (i, payments)
+                  | _ -> ()
+                else if dst >= 0 && dst < n then
+                  Mailbox.push boxes.(dst) (Deliver { src = i; msg }));
+            schedule =
+              (fun ~delay f ->
+                (* Ticks route through the agent's own mailbox so all
+                   agent mutations stay on its thread. *)
+                Timer.schedule timer ~delay (fun () ->
+                    Mailbox.push boxes.(i) (Act f))) })
+    in
+    let worker i =
+      Agent.start transports.(i) agents.(i);
+      let rec loop () =
+        match Mailbox.pop boxes.(i) with
+        | None -> ()
+        | Some (Deliver { src; msg }) ->
+            Agent.handle transports.(i) agents.(i) ~src msg;
+            loop ()
+        | Some (Act f) ->
+            f ();
+            loop ()
+      in
+      loop ()
+    in
+    let threads = Array.init n (fun i -> Thread.create worker i) in
+    collect_reports ~n ~deadline:(t0 +. cfg.timeout) ~report (fun remaining ->
+        Mailbox.pop ~timeout:remaining reports);
+    Array.iter Mailbox.close boxes;
+    Array.iter Thread.join threads;
+    Mailbox.close reports;
+    Timer.shutdown timer;
+    { trace; duration = Unix.gettimeofday () -. t0 }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Backend: Unix-domain sockets                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Socket_backend = struct
+  type config = { timeout : float }
+
+  let name = "socket"
+
+  let execute cfg ~params ~seed:_ ~keep_events ~agents ~report =
+    let n = params.Params.n in
+    let trace, t0, record = concurrent_trace ~keep_events in
+    (* Endpoints 0..n-1 are the agents; endpoint n is the payment
+       infrastructure, driven by this thread. *)
+    let fabric = Fabric.create ~endpoints:(n + 1) in
+    let threads =
+      Array.init n (fun i ->
+          Thread.create
+            (fun () ->
+              Endpoint.run_agent ~fd:(Fabric.endpoint_fd fabric i)
+                ~agent:agents.(i)
+                ~on_send:(fun ~dst ~tag ~bytes -> record ~src:i ~dst ~tag ~bytes))
+            ())
+    in
+    let infra_fd = Fabric.endpoint_fd fabric n in
+    collect_reports ~n ~deadline:(t0 +. cfg.timeout) ~report (fun remaining ->
+        match Unix.select [ infra_fd ] [] [] remaining with
+        | [], _, _ -> None
+        | _ -> (
+            match Frame.read infra_fd with
+            | `Closed -> None
+            | `Frame (src, _, payload) -> (
+                match Codec.decode payload with
+                | Ok (Messages.Payment_report { payments }) ->
+                    Some (src, payments)
+                | Ok _ | Error _ ->
+                    (* Not a report: skip it without consuming the
+                       caller's one-report budget. *)
+                    Some (-1, [||])))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> Some (-1, [||]));
+    Fabric.broadcast_stop fabric;
+    Array.iter Thread.join threads;
+    Fabric.shutdown fabric;
+    { trace; duration = Unix.gettimeofday () -. t0 }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Backend constructors                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sim ?(fault = Dmw_sim.Fault.none) ?latency ?bandwidth ?jitter ?duplicate () =
+  Backend
+    ( (module Sim_backend),
+      { Sim_backend.fault; latency; bandwidth; jitter; duplicate } )
+
+let threads ?(timeout = 30.0) () =
+  Backend ((module Thread_backend), { Thread_backend.timeout })
+
+let socket ?(timeout = 30.0) () =
+  Backend ((module Socket_backend), { Socket_backend.timeout })
+
+let backend_name (Backend ((module B), _)) = B.name
+
+let backend_of_string = function
+  | "sim" -> Some (sim ())
+  | "threads" -> Some (threads ())
+  | "socket" -> Some (socket ())
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The harness                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let validate_bids (params : Params.t) bids =
+  if Array.length bids <> params.n then invalid_arg "Dmw_exec.run: bids rows <> n";
+  Array.iter
+    (fun row ->
+      if Array.length row <> params.m then
+        invalid_arg "Dmw_exec.run: bids columns <> m";
+      Array.iter
+        (fun y ->
+          if not (Params.valid_bid params y) then
+            invalid_arg "Dmw_exec.run: bid outside W")
+        row)
+    bids
+
+let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
+    ?(keep_events = true) ?(batching = false) ?(hardened = false)
+    ?(backend = sim ()) (params : Params.t) ~bids =
+  validate_bids params bids;
+  let n = params.n in
+  (* The master RNG and per-agent split order are the seeding
+     convention shared by every backend: same seed, same agents, same
+     outcome regardless of message interleaving. *)
+  let master_rng = Prng.create ~seed:(seed lxor 0xA6E77) in
+  let agents =
+    Array.init n (fun i ->
+        Agent.create ~batching ~hardened ~params ~id:i ~bids:bids.(i)
+          ~strategy:(strategies i)
+          ~rng:(Prng.split master_rng) ())
+  in
+  let infra = Payment_infra.create ~n in
+  let (Backend ((module B), config)) = backend in
+  let info =
+    B.execute config ~params ~seed ~keep_events ~agents
+      ~report:(fun ~src payments -> Payment_infra.receive infra ~from_:src payments)
+  in
+  Array.iter Agent.finalize_stall agents;
+  let statuses =
+    Array.map
+      (fun a ->
+        { agent = Agent.id a;
+          strategy = Agent.strategy a;
+          aborted = Agent.aborted a;
+          outcomes = Agent.outcomes a;
+          checks_performed = Audit.checks_performed (Agent.audit a) })
+      agents
+  in
+  let schedule = Agent.consensus agents ~c:params.c in
+  let first_prices, second_prices =
+    match schedule with
+    | None -> (None, None)
+    | Some _ -> (
+        (* Consensus established: any resolved agent's view is the
+           view. Consensus tolerates up to c missing resolvers, so a
+           run can in principle reach agreement with no agent both
+           unaborted and fully resolved — degrade to unknown prices
+           rather than crash. *)
+        match
+          Array.to_list agents
+          |> List.find_opt (fun a ->
+                 Agent.aborted a = None
+                 && Array.for_all Option.is_some (Agent.outcomes a))
+        with
+        | None -> (None, None)
+        | Some a ->
+            let outcomes = Array.map Option.get (Agent.outcomes a) in
+            ( Some (Array.map (fun (o : Agent.task_outcome) -> o.y_star) outcomes),
+              Some (Array.map (fun (o : Agent.task_outcome) -> o.y_star2) outcomes)
+            ))
+  in
+  let payments = Payment_infra.settle infra ~quorum:(n - params.c) in
+  { params;
+    backend = B.name;
+    schedule;
+    first_prices;
+    second_prices;
+    payments;
+    statuses;
+    trace = info.trace;
+    duration = info.duration }
+
+(* ------------------------------------------------------------------ *)
+(* Derived quantities                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let completed r =
+  Option.is_some r.schedule && Array.for_all Option.is_some r.payments
+
+let utility r ~true_levels ~agent =
+  match r.schedule with
+  | None -> 0.0
+  | Some schedule ->
+      let pay = Option.value ~default:0.0 r.payments.(agent) in
+      let cost =
+        List.fold_left
+          (fun acc j -> acc +. float_of_int true_levels.(agent).(j))
+          0.0
+          (Dmw_mechanism.Schedule.tasks_of schedule ~agent)
+      in
+      pay -. cost
+
+let utilities r ~true_levels =
+  Array.init r.params.Params.n (fun agent -> utility r ~true_levels ~agent)
+
+let pp_summary fmt r =
+  Format.fprintf fmt "@[<v>%a@," Params.pp r.params;
+  (match r.schedule with
+  | None ->
+      Format.fprintf fmt "protocol did not complete@,";
+      Array.iter
+        (fun s ->
+          match s.aborted with
+          | Some reason ->
+              Format.fprintf fmt "  agent %d (%s): %a@," s.agent
+                (Strategy.to_string s.strategy)
+                Audit.pp_reason reason
+          | None -> ())
+        r.statuses
+  | Some schedule ->
+      Format.fprintf fmt "%a" Dmw_mechanism.Schedule.pp schedule;
+      (match (r.first_prices, r.second_prices) with
+      | Some fp, Some sp ->
+          Array.iteri
+            (fun j y -> Format.fprintf fmt "T%d: y* = %d, y** = %d@," (j + 1) y sp.(j))
+            fp
+      | _ -> ());
+      Array.iteri
+        (fun i p ->
+          match p with
+          | Some p -> Format.fprintf fmt "P%d = %.1f@," (i + 1) p
+          | None -> Format.fprintf fmt "P%d withheld@," (i + 1))
+        r.payments);
+  Format.fprintf fmt "messages = %d, bytes = %d, %s = %.3f s [%s backend]@]"
+    (Trace.messages r.trace) (Trace.bytes r.trace)
+    (if r.backend = "sim" then "virtual time" else "wall time")
+    r.duration r.backend

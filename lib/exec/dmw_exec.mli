@@ -1,0 +1,136 @@
+(** The unified execution harness for the DMW mechanism.
+
+    Every way of running the protocol — discrete-event simulation,
+    shared-memory threads, socket endpoints — shares the same
+    surrounding machinery: agent construction from [Params] + bids +
+    strategies under the common master-RNG seeding convention, payment
+    collection through {!Dmw_core.Payment_infra}, consensus and price
+    extraction, per-agent statuses, and one {!result} type. A backend
+    only supplies the message fabric ({!BACKEND}); everything
+    mechanism-level lives here, once.
+
+    Determinism: all agent randomness comes from per-agent PRNGs split
+    off one master seeded with [seed lxor 0xA6E77], in agent order, and
+    the protocol's state machine is confluent under reordering — so
+    the same seed yields bit-identical schedules, prices and payments
+    on every backend, regardless of real-time interleaving. *)
+
+open Dmw_core
+
+type agent_status = {
+  agent : int;
+  strategy : Strategy.t;
+  aborted : Audit.reason option;
+  outcomes : Agent.task_outcome option array;
+  checks_performed : int;
+}
+
+type result = {
+  params : Params.t;
+  backend : string;  (** Name of the backend that produced this run. *)
+  schedule : Dmw_mechanism.Schedule.t option;
+      (** Present iff every non-deviating agent resolved every auction
+          and they all agree. *)
+  first_prices : int array option;  (** [y*_j] per task. *)
+  second_prices : int array option; (** [y**_j] per task. *)
+  payments : float option array;
+      (** What the payment infrastructure issued, per agent. *)
+  statuses : agent_status array;
+  trace : Dmw_sim.Trace.t;
+      (** Message accounting; every backend records real sends. *)
+  duration : float;
+      (** Virtual seconds until the last protocol message (sim), or
+          wall-clock seconds for the run (threads, socket). *)
+}
+
+type info = { trace : Dmw_sim.Trace.t; duration : float }
+(** What a backend hands back to the harness. *)
+
+(** A message fabric. [execute] runs Phases II–IV of the prepared
+    [agents] to completion (or to its own notion of a deadline),
+    forwarding every Phase IV payment report to [report], and returns
+    the trace. It must serialize all callbacks into each agent. *)
+module type BACKEND = sig
+  type config
+
+  val name : string
+
+  val execute :
+    config ->
+    params:Params.t ->
+    seed:int ->
+    keep_events:bool ->
+    agents:Agent.t array ->
+    report:(src:int -> float array -> unit) ->
+    info
+end
+
+type backend = Backend : (module BACKEND with type config = 'c) * 'c -> backend
+
+val sim :
+  ?fault:Dmw_sim.Fault.t ->
+  ?latency:Dmw_sim.Latency.t ->
+  ?bandwidth:float ->
+  ?jitter:float ->
+  ?duplicate:float ->
+  unit ->
+  backend
+(** The discrete-event simulator ({!Dmw_sim.Engine}): deterministic
+    virtual time, pluggable latency/bandwidth/jitter/duplication and
+    fault injection. The default backend. *)
+
+val threads :
+  ?timeout:float ->
+  unit ->
+  backend
+(** One OS thread per agent over in-process mailboxes, plus a shared
+    timer thread. [timeout] (default 30 s) bounds the wall-clock wait
+    for payment reports — stalled runs (a deviation aborted someone)
+    end then. *)
+
+val socket :
+  ?timeout:float ->
+  unit ->
+  backend
+(** One thread per agent, each an endpoint exchanging Codec-encoded
+    frames over Unix-domain sockets through a routing fabric
+    ({!Dmw_net.Fabric}) — the full wire path, kernel boundary
+    included. [timeout] as for {!threads}. *)
+
+val backend_name : backend -> string
+
+val backend_of_string : string -> backend option
+(** ["sim"], ["threads"] or ["socket"], with default configuration. *)
+
+val run :
+  ?strategies:(int -> Strategy.t) ->
+  ?seed:int ->
+  ?keep_events:bool ->
+  ?batching:bool ->
+  ?hardened:bool ->
+  ?backend:backend ->
+  Params.t ->
+  bids:int array array ->
+  result
+(** [bids.(i).(j)] is agent [i]'s bid level for task [j] (each in the
+    published set [W]). [strategies] defaults to everyone following
+    [χ_suggest]. [batching] (default false) packs all messages a
+    protocol step emits for one destination into a single
+    {!Dmw_core.Messages.Batch} envelope. [hardened] (default false)
+    switches Phase III.3 to per-entry-verified disclosures. Both flags
+    apply uniformly to all agents on every backend. [backend] defaults
+    to [sim ()]. *)
+
+val completed : result -> bool
+(** True when a consensus schedule and full payments exist. *)
+
+val utility : result -> true_levels:int array array -> agent:int -> float
+(** Realized utility [U_i = P_i + V_i] (Def. 2 / Def. 6): issued
+    payment minus the true total processing time of the tasks the
+    schedule assigns to [i]. Zero when the protocol did not complete
+    (no allocation happens, no payment flows) or the agent's payment
+    was withheld while nothing was assigned to it. *)
+
+val utilities : result -> true_levels:int array array -> float array
+
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,17 @@
+(** Driving one {!Dmw_core.Agent} over a socket.
+
+    The event loop multiplexes frame arrival with the agent's
+    scheduled timeouts on a single thread, so all agent mutations are
+    serialized as {!Dmw_core.Agent.transport} requires. Outbound
+    messages are Codec-encoded and framed ({!Frame}); inbound payloads
+    are decoded, and malformed ones dropped. The loop exits when a
+    {!Fabric.stop_src} frame arrives or the socket closes. *)
+
+val run_agent :
+  fd:Unix.file_descr ->
+  agent:Dmw_core.Agent.t ->
+  on_send:(dst:int -> tag:string -> bytes:int -> unit) ->
+  unit
+(** Runs Phases II–IV of [agent] over [fd]; returns after the stop
+    signal. [on_send] observes every transmitted message (for the
+    backend's trace accounting); it is called from this thread only. *)

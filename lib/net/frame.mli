@@ -1,0 +1,26 @@
+(** Length-prefixed message frames for the socket backend.
+
+    [header := src:u16 dst:u16 len:u32] (big-endian), followed by
+    [len] payload bytes — the {!Dmw_core.Codec} encoding of one
+    protocol message. *)
+
+val header_size : int
+
+val max_payload : int
+(** Streams carrying a larger length prefix are treated as corrupt
+    and closed. *)
+
+val encode : src:int -> dst:int -> string -> Bytes.t
+(** The full frame as bytes (used by the switch's output queues). *)
+
+val parse_header : Bytes.t -> pos:int -> int * int * int
+(** [(src, dst, len)] of the header starting at [pos]; the caller
+    guarantees [header_size] bytes are available. *)
+
+val write : Unix.file_descr -> src:int -> dst:int -> string -> unit
+(** Blocking write of one whole frame.
+    @raise Unix.Unix_error when the peer is gone. *)
+
+val read : Unix.file_descr -> [ `Frame of int * int * string | `Closed ]
+(** Blocking read of one whole frame; [`Closed] on EOF, on a corrupt
+    length prefix, or on any socket error. *)

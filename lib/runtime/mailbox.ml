@@ -2,15 +2,25 @@ type 'a t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
   queue : 'a Queue.t;
+  mutable closed : bool;
 }
 
 let create () =
-  { mutex = Mutex.create (); nonempty = Condition.create (); queue = Queue.create () }
+  { mutex = Mutex.create (); nonempty = Condition.create ();
+    queue = Queue.create (); closed = false }
 
 let push t v =
   Mutex.lock t.mutex;
-  Queue.push v t.queue;
-  Condition.signal t.nonempty;
+  if not t.closed then begin
+    Queue.push v t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mutex
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
   Mutex.unlock t.mutex
 
 let pop ?timeout t =
@@ -18,6 +28,7 @@ let pop ?timeout t =
   let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) timeout in
   let rec wait () =
     if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.closed then None
     else begin
       match deadline with
       | None ->

@@ -1,6 +1,6 @@
 (** Thread-safe blocking mailbox (unbounded FIFO).
 
-    The concurrent runtime gives every agent one mailbox consumed by
+    The concurrent backends give every agent one mailbox consumed by
     its own thread, so agent state needs no further locking. *)
 
 type 'a t
@@ -8,10 +8,17 @@ type 'a t
 val create : unit -> 'a t
 
 val push : 'a t -> 'a -> unit
-(** Never blocks. *)
+(** Never blocks. After {!close}, pushes are silently dropped — this
+    is what lets a shared timer thread keep draining its deadline
+    queue during shutdown without racing the consumers. *)
+
+val close : 'a t -> unit
+(** Close the mailbox: wakes every blocked {!pop}. Consumers drain
+    whatever was queued before the close, then receive [None]. *)
 
 val pop : ?timeout:float -> 'a t -> 'a option
-(** Blocks until an element is available; [None] on timeout (seconds).
-    Without [timeout], blocks indefinitely. *)
+(** Blocks until an element is available; [None] on timeout (seconds)
+    or when the mailbox is closed and drained. Without [timeout],
+    blocks until an element arrives or the mailbox is closed. *)
 
 val length : 'a t -> int

@@ -1,0 +1,90 @@
+(* One timer thread per run, draining a deadline queue — replaces the
+   old scheme of spawning a fresh Thread.create per scheduled tick,
+   which allocated hundreds of short-lived threads in a single
+   protocol run. *)
+
+type entry = { at : float; seq : int; fire : unit -> unit }
+
+type t = {
+  mutex : Mutex.t;
+  wake : Condition.t;
+  mutable pending : entry list; (* sorted by (at, seq) *)
+  mutable stopped : bool;
+  mutable seq : int;
+  mutable thread : Thread.t option;
+}
+
+(* The poll granularity while waiting for the earliest deadline.
+   Condition.wait has no timeout in the stdlib, so we sleep in short
+   slices and re-check — the same idiom as Mailbox.pop. *)
+let poll_slice = 0.002
+
+let insert pending e =
+  let earlier x = x.at < e.at || (x.at = e.at && x.seq < e.seq) in
+  let rec go = function
+    | x :: rest when earlier x -> x :: go rest
+    | rest -> e :: rest
+  in
+  go pending
+
+let rec loop t =
+  Mutex.lock t.mutex;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    match t.pending with
+    | [] ->
+        Condition.wait t.wake t.mutex;
+        Mutex.unlock t.mutex;
+        loop t
+    | e :: rest ->
+        let now = Unix.gettimeofday () in
+        if e.at <= now then begin
+          t.pending <- rest;
+          Mutex.unlock t.mutex;
+          (* Fire outside the lock: callbacks push into mailboxes and
+             must never deadlock against schedule/shutdown. *)
+          e.fire ();
+          loop t
+        end
+        else begin
+          Mutex.unlock t.mutex;
+          Thread.delay (Float.min poll_slice (e.at -. now));
+          loop t
+        end
+  end
+
+let create () =
+  let t =
+    { mutex = Mutex.create (); wake = Condition.create (); pending = [];
+      stopped = false; seq = 0; thread = None }
+  in
+  t.thread <- Some (Thread.create loop t);
+  t
+
+let schedule t ~delay fire =
+  let at = Unix.gettimeofday () +. delay in
+  Mutex.lock t.mutex;
+  if not t.stopped then begin
+    t.seq <- t.seq + 1;
+    t.pending <- insert t.pending { at; seq = t.seq; fire };
+    Condition.signal t.wake
+  end;
+  Mutex.unlock t.mutex
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = List.length t.pending in
+  Mutex.unlock t.mutex;
+  n
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  t.pending <- [];
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  match t.thread with
+  | Some th ->
+      t.thread <- None;
+      Thread.join th
+  | None -> ()

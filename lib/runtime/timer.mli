@@ -1,0 +1,26 @@
+(** Shared wall-clock timer: one thread per run draining a deadline
+    queue.
+
+    The thread backend routes every [Agent.transport.schedule] call
+    through one of these instead of spawning a fresh thread per tick.
+    Callbacks run on the timer thread, so they must be cheap and
+    thread-safe — in practice they push a [Tick] into the target
+    agent's own {!Mailbox}, which serializes the actual work on the
+    agent's thread. *)
+
+type t
+
+val create : unit -> t
+(** Spawns the timer thread. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the callback [delay] seconds from now (on the timer thread).
+    Callbacks with equal deadlines fire in scheduling order. After
+    {!shutdown}, scheduling is a no-op. *)
+
+val pending : t -> int
+(** Number of not-yet-fired deadlines (for tests). *)
+
+val shutdown : t -> unit
+(** Drop every pending deadline, stop and join the timer thread.
+    Idempotent. *)

@@ -178,8 +178,8 @@ let test_protocol_bytes_use_real_encoding () =
   (* The trace's byte totals must equal the sum of real encodings. *)
   let params = Params.make_exn ~group_bits:64 ~seed:3 ~n:4 ~m:1 ~c:1 () in
   let bids = [| [| 2 |]; [| 1 |]; [| 2 |]; [| 2 |] |] in
-  let r = Protocol.run ~seed:5 params ~bids in
-  let events = Dmw_sim.Trace.events r.Protocol.trace in
+  let r = Dmw_exec.run ~seed:5 params ~bids in
+  let events = Dmw_sim.Trace.events r.Dmw_exec.trace in
   Alcotest.(check bool) "events recorded" true (List.length events > 0);
   List.iter
     (fun (e : Dmw_sim.Trace.event) ->

@@ -1,0 +1,128 @@
+(* Cross-backend equivalence of the unified harness: the simulator,
+   the threads backend and the socket backend must produce
+   bit-identical schedules, prices, payments and abort sets for the
+   same seed — the determinism contract Dmw_exec promises. *)
+
+open Dmw_bigint
+open Dmw_core
+
+let backends ~timeout =
+  [ Dmw_exec.sim (); Dmw_exec.threads ~timeout (); Dmw_exec.socket ~timeout () ]
+
+let abort_set (r : Dmw_exec.result) =
+  Array.to_list r.Dmw_exec.statuses
+  |> List.filter_map (fun (s : Dmw_exec.agent_status) ->
+         Option.map (fun reason -> (s.Dmw_exec.agent, reason)) s.Dmw_exec.aborted)
+
+let outcome_fields (r : Dmw_exec.result) =
+  ( Option.map Dmw_mechanism.Schedule.assignment r.Dmw_exec.schedule,
+    r.Dmw_exec.first_prices,
+    r.Dmw_exec.second_prices,
+    r.Dmw_exec.payments,
+    abort_set r )
+
+(* ------------------------------------------------------------------ *)
+(* Property: backends agree on random valid instances                  *)
+
+let prop_backends_agree =
+  QCheck.Test.make ~count:8 ~name:"sim = threads = socket on random instances"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 4 + Prng.int g 3 and m = 1 + Prng.int g 2 in
+      let p = Params.make_exn ~group_bits:64 ~seed:3 ~n ~m ~c:1 () in
+      let bids =
+        Array.init n (fun _ ->
+            Array.init m (fun _ -> 1 + Prng.int g p.Params.w_max))
+      in
+      let results =
+        List.map
+          (fun backend ->
+            Dmw_exec.run ~seed ~keep_events:false ~backend p ~bids)
+          (backends ~timeout:20.0)
+      in
+      List.for_all Dmw_exec.completed results
+      &&
+      match List.map outcome_fields results with
+      | reference :: rest -> List.for_all (( = ) reference) rest
+      | [] -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-instance checks for the socket backend                        *)
+
+let params = Params.make_exn ~group_bits:64 ~seed:3 ~n:5 ~m:2 ~c:1 ()
+let bids = [| [| 3; 2 |]; [| 1; 3 |]; [| 3; 3 |]; [| 2; 1 |]; [| 3; 2 |] |]
+
+let test_socket_matches_simulated () =
+  let sim = Dmw_exec.run ~seed:7 params ~bids ~keep_events:false in
+  let sock =
+    Dmw_exec.run ~seed:7 params ~bids ~keep_events:false
+      ~backend:(Dmw_exec.socket ~timeout:20.0 ())
+  in
+  Alcotest.(check bool) "sim completed" true (Dmw_exec.completed sim);
+  Alcotest.(check bool) "socket completed" true (Dmw_exec.completed sock);
+  Alcotest.(check string) "backend name" "socket" sock.Dmw_exec.backend;
+  Alcotest.(check bool) "identical outcome" true
+    (outcome_fields sim = outcome_fields sock);
+  (* Every protocol message crossed the wire: the socket trace counts
+     the same sends the simulator's cost model counts, modulo extra
+     fallback-round disclosures real time may add. *)
+  Alcotest.(check bool) "trace recorded" true
+    (Dmw_sim.Trace.messages sock.Dmw_exec.trace
+    >= Dmw_sim.Trace.messages sim.Dmw_exec.trace)
+
+let test_socket_detects_deviation () =
+  let r =
+    Dmw_exec.run ~seed:7 params ~bids ~keep_events:false
+      ~backend:(Dmw_exec.socket ~timeout:5.0 ())
+      ~strategies:(fun i ->
+        if i = 2 then Strategy.Corrupt_commitments else Strategy.Suggested)
+  in
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
+  Alcotest.(check bool) "blamed dealer 2" true
+    (Array.exists
+       (fun (s : Dmw_exec.agent_status) ->
+         match s.Dmw_exec.aborted with
+         | Some (Audit.Bad_share { dealer }) -> dealer = 2
+         | _ -> false)
+       r.Dmw_exec.statuses)
+
+let test_socket_disclosure_fallback () =
+  (* Withheld disclosures exercise the real-time timeout rounds over
+     actual sockets; the run must still complete with the honest
+     outcome. *)
+  let sim = Dmw_exec.run ~seed:7 params ~bids ~keep_events:false in
+  let r =
+    Dmw_exec.run ~seed:7 params ~bids ~keep_events:false
+      ~backend:(Dmw_exec.socket ~timeout:15.0 ())
+      ~strategies:(fun i ->
+        if i = 0 then Strategy.Withhold_disclosure else Strategy.Suggested)
+  in
+  Alcotest.(check bool) "completed despite withholding" true (Dmw_exec.completed r);
+  match (sim.Dmw_exec.schedule, r.Dmw_exec.schedule) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "honest schedule" true (Dmw_mechanism.Schedule.equal a b)
+  | _ -> Alcotest.fail "missing schedule"
+
+let test_backend_of_string () =
+  List.iter
+    (fun name ->
+      match Dmw_exec.backend_of_string name with
+      | Some b -> Alcotest.(check string) name name (Dmw_exec.backend_name b)
+      | None -> Alcotest.fail ("unknown backend " ^ name))
+    [ "sim"; "threads"; "socket" ];
+  Alcotest.(check bool) "junk rejected" true
+    (Dmw_exec.backend_of_string "carrier-pigeon" = None)
+
+let () =
+  Alcotest.run "dmw_exec"
+    [ ("cross-backend",
+       [ QCheck_alcotest.to_alcotest ~long:true prop_backends_agree;
+         Alcotest.test_case "socket matches simulator" `Quick
+           test_socket_matches_simulated;
+         Alcotest.test_case "socket detects deviation" `Quick
+           test_socket_detects_deviation;
+         Alcotest.test_case "socket disclosure fallback" `Slow
+           test_socket_disclosure_fallback ]);
+      ("plumbing",
+       [ Alcotest.test_case "backend_of_string" `Quick test_backend_of_string ]) ]

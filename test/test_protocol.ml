@@ -16,7 +16,7 @@ let params ?(n = 6) ?(m = 2) ?(c = 1) ?(seed = 3) () =
 let bids0 = [| [| 3; 2 |]; [| 1; 3 |]; [| 4; 4 |]; [| 2; 1 |]; [| 4; 3 |]; [| 3; 4 |] |]
 
 let run ?strategies ?fault ?(seed = 7) ?(bids = bids0) p =
-  Protocol.run ?strategies ?fault ~seed p ~bids
+  Dmw_exec.run ?strategies ~backend:(Dmw_exec.sim ?fault ()) ~seed p ~bids
 
 let minwork_reference p bids =
   let rank = Params.pseudonym_rank p in
@@ -24,9 +24,9 @@ let minwork_reference p bids =
     ~tie_break:(Vickrey.Least_key (fun i -> rank.(i)))
     (Array.map (Array.map float_of_int) bids)
 
-let check_matches_centralized p bids (r : Protocol.result) =
+let check_matches_centralized p bids (r : Dmw_exec.result) =
   let mw = minwork_reference p bids in
-  (match r.Protocol.schedule with
+  (match r.Dmw_exec.schedule with
   | Some s ->
       Alcotest.(check bool) "schedule matches MinWork" true
         (Schedule.equal s mw.Minwork.schedule)
@@ -39,7 +39,7 @@ let check_matches_centralized p bids (r : Protocol.result) =
             (Printf.sprintf "payment %d" i)
             mw.Minwork.payments.(i) pay
       | None -> Alcotest.failf "payment %d withheld" i)
-    r.Protocol.payments
+    r.Dmw_exec.payments
 
 (* ------------------------------------------------------------------ *)
 (* Honest execution                                                    *)
@@ -47,13 +47,13 @@ let check_matches_centralized p bids (r : Protocol.result) =
 let test_honest_completes_and_matches () =
   let p = params () in
   let r = run p in
-  Alcotest.(check bool) "completed" true (Protocol.completed r);
+  Alcotest.(check bool) "completed" true (Dmw_exec.completed r);
   check_matches_centralized p bids0 r
 
 let test_prices_are_first_and_second_minima () =
   let p = params () in
   let r = run p in
-  match (r.Protocol.first_prices, r.Protocol.second_prices) with
+  match (r.Dmw_exec.first_prices, r.Dmw_exec.second_prices) with
   | Some fp, Some sp ->
       Array.iteri
         (fun j y1 ->
@@ -69,7 +69,7 @@ let test_tie_breaks_to_smallest_pseudonym () =
   (* Agents 1 and 3 tie at the minimum. *)
   let bids = [| [| 3 |]; [| 1 |]; [| 4 |]; [| 1 |]; [| 2 |]; [| 3 |] |] in
   let r = run p ~bids in
-  (match r.Protocol.schedule with
+  (match r.Dmw_exec.schedule with
   | Some s ->
       let w = Schedule.agent_of s ~task:0 in
       let expected =
@@ -80,7 +80,7 @@ let test_tie_breaks_to_smallest_pseudonym () =
       Alcotest.(check int) "smallest pseudonym wins" expected w
   | None -> Alcotest.fail "did not complete");
   (* A tied auction pays the winning bid. *)
-  match r.Protocol.second_prices with
+  match r.Dmw_exec.second_prices with
   | Some sp -> Alcotest.(check int) "second price equals bid" 1 sp.(0)
   | None -> Alcotest.fail "no second price"
 
@@ -88,21 +88,21 @@ let test_matches_direct_execution () =
   let p = params () in
   let r = run p in
   let d = Direct.run p ~bids:bids0 in
-  (match r.Protocol.schedule with
+  (match r.Dmw_exec.schedule with
   | Some s -> Alcotest.(check bool) "same schedule" true (Schedule.equal s d.Direct.schedule)
   | None -> Alcotest.fail "did not complete");
   Alcotest.(check (option (array int))) "first prices" (Some d.Direct.first_prices)
-    r.Protocol.first_prices;
+    r.Dmw_exec.first_prices;
   Alcotest.(check (option (array int))) "second prices" (Some d.Direct.second_prices)
-    r.Protocol.second_prices
+    r.Dmw_exec.second_prices
 
 let test_deterministic_given_seeds () =
   let p = params () in
   let r1 = run p and r2 = run p in
-  Alcotest.(check int) "same message count" (Trace.messages r1.Protocol.trace)
-    (Trace.messages r2.Protocol.trace);
+  Alcotest.(check int) "same message count" (Trace.messages r1.Dmw_exec.trace)
+    (Trace.messages r2.Dmw_exec.trace);
   Alcotest.(check bool) "same schedule" true
-    (match (r1.Protocol.schedule, r2.Protocol.schedule) with
+    (match (r1.Dmw_exec.schedule, r2.Dmw_exec.schedule) with
     | Some a, Some b -> Schedule.equal a b
     | _ -> false)
 
@@ -115,15 +115,15 @@ let prop_equivalence_random_instances =
       let m = 1 + Dmw_bigint.Prng.int rng 2 in
       let p = params ~n ~m ~seed:(seed + 1) () in
       let bids = Dmw_workload.Workload.random_levels rng ~n ~m ~w_max:p.Params.w_max in
-      let r = Protocol.run ~seed p ~bids ~keep_events:false in
+      let r = Dmw_exec.run ~seed p ~bids ~keep_events:false in
       let mw = minwork_reference p bids in
-      match r.Protocol.schedule with
+      match r.Dmw_exec.schedule with
       | Some s ->
           Schedule.equal s mw.Minwork.schedule
           && Array.for_all2
                (fun issued expected ->
                  match issued with Some v -> v = expected | None -> false)
-               r.Protocol.payments mw.Minwork.payments
+               r.Dmw_exec.payments mw.Minwork.payments
       | None -> false)
 
 (* ------------------------------------------------------------------ *)
@@ -134,14 +134,14 @@ let test_message_counts_exact () =
   let r = run p in
   let n = p.Params.n and m = p.Params.m in
   let per_publish = n * (n - 1) in
-  let by_tag = Trace.messages_by_tag r.Protocol.trace in
+  let by_tag = Trace.messages_by_tag r.Dmw_exec.trace in
   let count tag = try List.assoc tag by_tag with Not_found -> 0 in
   Alcotest.(check int) "shares" (m * n * (n - 1)) (count "share");
   Alcotest.(check int) "commitments" (m * per_publish) (count "commitments");
   Alcotest.(check int) "lambda_psi" (m * per_publish) (count "lambda_psi");
   Alcotest.(check int) "lambda_psi_excl" (m * per_publish) (count "lambda_psi_excl");
   (* y*_j + 1 disclosers per task. *)
-  (match r.Protocol.first_prices with
+  (match r.Dmw_exec.first_prices with
   | Some fp ->
       let expected =
         Array.fold_left (fun acc y -> acc + ((y + 1) * (n - 1))) 0 fp
@@ -156,8 +156,8 @@ let test_message_count_scales_quadratically () =
   let count n =
     let p = params ~n ~m:1 () in
     let bids = Array.init n (fun i -> [| 1 + (i mod p.Params.w_max) |]) in
-    let r = Protocol.run ~seed:5 p ~bids ~keep_events:false in
-    Trace.messages r.Protocol.trace
+    let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
+    Trace.messages r.Dmw_exec.trace
   in
   let c6 = count 6 and c12 = count 12 in
   let ratio = float_of_int c12 /. float_of_int c6 in
@@ -175,15 +175,15 @@ let test_batching_same_outcome () =
     [| [| 3; 2; 1; 4 |]; [| 1; 3; 2; 2 |]; [| 4; 4; 3; 1 |];
        [| 2; 1; 4; 3 |]; [| 4; 3; 2; 2 |]; [| 3; 4; 4; 3 |] |]
   in
-  let plain = Protocol.run ~seed:7 p ~bids ~keep_events:false in
-  let batched = Protocol.run ~seed:7 p ~bids ~keep_events:false ~batching:true in
+  let plain = Dmw_exec.run ~seed:7 p ~bids ~keep_events:false in
+  let batched = Dmw_exec.run ~seed:7 p ~bids ~keep_events:false ~batching:true in
   Alcotest.(check bool) "both complete" true
-    (Protocol.completed plain && Protocol.completed batched);
-  (match (plain.Protocol.schedule, batched.Protocol.schedule) with
+    (Dmw_exec.completed plain && Dmw_exec.completed batched);
+  (match (plain.Dmw_exec.schedule, batched.Dmw_exec.schedule) with
   | Some a, Some b -> Alcotest.(check bool) "same schedule" true (Schedule.equal a b)
   | _ -> Alcotest.fail "missing schedule");
   Alcotest.(check bool) "same payments" true
-    (plain.Protocol.payments = batched.Protocol.payments)
+    (plain.Dmw_exec.payments = batched.Dmw_exec.payments)
 
 let test_batching_reduces_messages () =
   let p = params ~m:4 () in
@@ -191,18 +191,18 @@ let test_batching_reduces_messages () =
     [| [| 3; 2; 1; 4 |]; [| 1; 3; 2; 2 |]; [| 4; 4; 3; 1 |];
        [| 2; 1; 4; 3 |]; [| 4; 3; 2; 2 |]; [| 3; 4; 4; 3 |] |]
   in
-  let plain = Protocol.run ~seed:7 p ~bids ~keep_events:false in
-  let batched = Protocol.run ~seed:7 p ~bids ~keep_events:false ~batching:true in
-  let pm = Trace.messages plain.Protocol.trace in
-  let bm = Trace.messages batched.Protocol.trace in
-  let pb = Trace.bytes plain.Protocol.trace in
-  let bb = Trace.bytes batched.Protocol.trace in
+  let plain = Dmw_exec.run ~seed:7 p ~bids ~keep_events:false in
+  let batched = Dmw_exec.run ~seed:7 p ~bids ~keep_events:false ~batching:true in
+  let pm = Trace.messages plain.Dmw_exec.trace in
+  let bm = Trace.messages batched.Dmw_exec.trace in
+  let pb = Trace.bytes plain.Dmw_exec.trace in
+  let bb = Trace.bytes batched.Dmw_exec.trace in
   Alcotest.(check bool)
     (Printf.sprintf "fewer messages (%d < %d)" bm pm)
     true (bm < pm);
   (* Phase II alone saves a factor ~2m on its share of the messages. *)
   Alcotest.(check bool) "batch envelopes used" true
-    (List.mem_assoc "batch" (Trace.messages_by_tag batched.Protocol.trace));
+    (List.mem_assoc "batch" (Trace.messages_by_tag batched.Dmw_exec.trace));
   (* Payload volume is preserved up to small per-envelope headers. *)
   Alcotest.(check bool)
     (Printf.sprintf "bytes comparable (%d vs %d)" bb pb)
@@ -223,9 +223,9 @@ let prop_modes_agree_random_instances =
       let bids = Dmw_workload.Workload.random_levels rng ~n ~m ~w_max:p.Params.w_max in
       let outcome ~batching ~hardened =
         let r =
-          Protocol.run ~seed p ~bids ~keep_events:false ~batching ~hardened
+          Dmw_exec.run ~seed p ~bids ~keep_events:false ~batching ~hardened
         in
-        (Option.map Schedule.assignment r.Protocol.schedule, r.Protocol.payments)
+        (Option.map Schedule.assignment r.Dmw_exec.schedule, r.Dmw_exec.payments)
       in
       let base = outcome ~batching:false ~hardened:false in
       fst base <> None
@@ -252,32 +252,32 @@ let prop_svp_random_deviator =
           (Array.of_list (Strategy.all_deviations ~victim))
       in
       let r =
-        Protocol.run ~seed p ~bids ~keep_events:false
+        Dmw_exec.run ~seed p ~bids ~keep_events:false
           ~strategies:(fun i -> if i = deviator then strategy else Strategy.Suggested)
       in
-      let us = Protocol.utilities r ~true_levels:bids in
+      let us = Dmw_exec.utilities r ~true_levels:bids in
       Array.for_all (fun u -> u >= -1e-9)
         (Array.init n (fun i -> if i = deviator then 0.0 else us.(i))))
 
 (* ------------------------------------------------------------------ *)
 (* Hardened disclosures: closing the eq. (13) sum gap                  *)
 
-let aborted_with pred (r : Protocol.result) =
+let aborted_with pred (r : Dmw_exec.result) =
   Array.exists
-    (fun (s : Protocol.agent_status) ->
+    (fun (s : Dmw_exec.agent_status) ->
       match s.aborted with Some reason -> pred reason | None -> false)
-    r.Protocol.statuses
+    r.Dmw_exec.statuses
 
 let test_hardened_honest_matches_plain () =
   let p = params () in
   let plain = run p in
-  let hard = Protocol.run ~seed:7 p ~bids:bids0 ~keep_events:false ~hardened:true in
-  Alcotest.(check bool) "completed" true (Protocol.completed hard);
-  (match (plain.Protocol.schedule, hard.Protocol.schedule) with
+  let hard = Dmw_exec.run ~seed:7 p ~bids:bids0 ~keep_events:false ~hardened:true in
+  Alcotest.(check bool) "completed" true (Dmw_exec.completed hard);
+  (match (plain.Dmw_exec.schedule, hard.Dmw_exec.schedule) with
   | Some a, Some b -> Alcotest.(check bool) "same schedule" true (Schedule.equal a b)
   | _ -> Alcotest.fail "missing schedule");
   Alcotest.(check bool) "same payments" true
-    (plain.Protocol.payments = hard.Protocol.payments)
+    (plain.Dmw_exec.payments = hard.Dmw_exec.payments)
 
 let test_hardened_catches_swap_at_eq13 () =
   (* In plain mode the sum-preserving swap passes eq. (13) and only
@@ -287,32 +287,32 @@ let test_hardened_catches_swap_at_eq13 () =
   let bids = [| [| 3 |]; [| 1 |]; [| 4 |]; [| 2 |]; [| 4 |]; [| 3 |] |] in
   let strategies i = if i = 0 then Strategy.Swap_disclosure else Strategy.Suggested in
   let r =
-    Protocol.run ~seed:7 p ~bids ~keep_events:false ~hardened:true ~strategies
+    Dmw_exec.run ~seed:7 p ~bids ~keep_events:false ~hardened:true ~strategies
   in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "caught at eq13, blaming agent 0" true
     (aborted_with (function Audit.Bad_disclosure { agent } -> agent = 0 | _ -> false) r);
   (* Every HONEST agent pins the row itself; only the deviator — which
      never verifies its own row — runs on into winner resolution. *)
   Array.iter
-    (fun (s : Protocol.agent_status) ->
-      if s.Protocol.agent <> 0 then
+    (fun (s : Dmw_exec.agent_status) ->
+      if s.Dmw_exec.agent <> 0 then
         Alcotest.(check bool)
-          (Printf.sprintf "agent %d verdict" s.Protocol.agent)
+          (Printf.sprintf "agent %d verdict" s.Dmw_exec.agent)
           true
-          (match s.Protocol.aborted with
+          (match s.Dmw_exec.aborted with
           | Some (Audit.Bad_disclosure { agent }) -> agent = 0
           | _ -> false))
-    r.Protocol.statuses
+    r.Dmw_exec.statuses
 
 let test_hardened_catches_corrupt_disclosure () =
   let p = params () in
   let r =
-    Protocol.run ~seed:7 p ~bids:bids0 ~keep_events:false ~hardened:true
+    Dmw_exec.run ~seed:7 p ~bids:bids0 ~keep_events:false ~hardened:true
       ~strategies:(fun i ->
         if i = 0 then Strategy.Corrupt_disclosure else Strategy.Suggested)
   in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "blamed agent 0" true
     (aborted_with (function Audit.Bad_disclosure { agent } -> agent = 0 | _ -> false) r)
 
@@ -323,22 +323,22 @@ let test_hardened_catches_pair_swap () =
   let p = params ~m:1 () in
   let bids = [| [| 3 |]; [| 1 |]; [| 4 |]; [| 2 |]; [| 4 |]; [| 3 |] |] in
   let r =
-    Protocol.run ~seed:7 p ~bids ~keep_events:false ~hardened:true
+    Dmw_exec.run ~seed:7 p ~bids ~keep_events:false ~hardened:true
       ~strategies:(fun i ->
         if i = 0 then Strategy.Swap_disclosure_pairs else Strategy.Suggested)
   in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "pinned at eq13" true
     (aborted_with (function Audit.Bad_disclosure { agent } -> agent = 0 | _ -> false) r)
 
 let test_hardened_fallback_still_works () =
   let p = params () in
   let r =
-    Protocol.run ~seed:7 p ~bids:bids0 ~keep_events:false ~hardened:true
+    Dmw_exec.run ~seed:7 p ~bids:bids0 ~keep_events:false ~hardened:true
       ~strategies:(fun i ->
         if i = 0 then Strategy.Withhold_disclosure else Strategy.Suggested)
   in
-  Alcotest.(check bool) "completed via fallback" true (Protocol.completed r)
+  Alcotest.(check bool) "completed via fallback" true (Dmw_exec.completed r)
 
 (* ------------------------------------------------------------------ *)
 (* Deviations: detection and outcome                                   *)
@@ -349,7 +349,7 @@ let test_corrupt_share_detected () =
     run p ~strategies:(fun i ->
         if i = 2 then Strategy.Corrupt_share_to 4 else Strategy.Suggested)
   in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "victim blames dealer 2" true
     (aborted_with (function Audit.Bad_share { dealer } -> dealer = 2 | _ -> false) r)
 
@@ -359,41 +359,41 @@ let test_withhold_share_stalls_victim () =
     run p ~strategies:(fun i ->
         if i = 2 then Strategy.Withhold_share_from 4 else Strategy.Suggested)
   in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
-  let victim = r.Protocol.statuses.(4) in
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
+  let victim = r.Dmw_exec.statuses.(4) in
   Alcotest.(check bool) "victim stalled in bidding" true
-    (match victim.Protocol.aborted with
+    (match victim.Dmw_exec.aborted with
     | Some (Audit.Stalled { phase }) -> phase = "bidding"
     | _ -> false)
 
 let test_withhold_commitments_stalls_everyone () =
   let p = params () in
   let r = run p ~strategies:(fun i -> if i = 0 then Strategy.Withhold_commitments else Strategy.Suggested) in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Array.iteri
-    (fun i (s : Protocol.agent_status) ->
+    (fun i (s : Dmw_exec.agent_status) ->
       if i <> 0 then
         Alcotest.(check bool) "honest stalled" true (Option.is_some s.aborted))
-    r.Protocol.statuses
+    r.Dmw_exec.statuses
 
 let test_corrupt_commitments_detected () =
   let p = params () in
   let r = run p ~strategies:(fun i -> if i = 1 then Strategy.Corrupt_commitments else Strategy.Suggested) in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "blamed as dealer" true
     (aborted_with (function Audit.Bad_share { dealer } -> dealer = 1 | _ -> false) r)
 
 let test_wrong_lambda_detected () =
   let p = params () in
   let r = run p ~strategies:(fun i -> if i = 3 then Strategy.Wrong_lambda else Strategy.Suggested) in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "eq11 blames agent 3" true
     (aborted_with (function Audit.Bad_lambda_psi { agent } -> agent = 3 | _ -> false) r)
 
 let test_crash_after_bidding_stalls () =
   let p = params () in
   let r = run p ~strategies:(fun i -> if i = 5 then Strategy.Crash_after_bidding else Strategy.Suggested) in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "others stalled" true
     (aborted_with (function Audit.Stalled _ -> true | _ -> false) r)
 
@@ -401,19 +401,19 @@ let test_withhold_disclosure_fallback_completes () =
   let p = params () in
   (* Agent 0 is always a selected discloser; it withholds. *)
   let r = run p ~strategies:(fun i -> if i = 0 then Strategy.Withhold_disclosure else Strategy.Suggested) in
-  Alcotest.(check bool) "completed despite withholding" true (Protocol.completed r);
+  Alcotest.(check bool) "completed despite withholding" true (Dmw_exec.completed r);
   check_matches_centralized p bids0 r
 
 let test_over_disclose_harmless () =
   let p = params () in
   let r = run p ~strategies:(fun i -> if i = 5 then Strategy.Over_disclose else Strategy.Suggested) in
-  Alcotest.(check bool) "completed" true (Protocol.completed r);
+  Alcotest.(check bool) "completed" true (Dmw_exec.completed r);
   check_matches_centralized p bids0 r
 
 let test_corrupt_disclosure_detected () =
   let p = params () in
   let r = run p ~strategies:(fun i -> if i = 0 then Strategy.Corrupt_disclosure else Strategy.Suggested) in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "eq13 blames agent 0" true
     (aborted_with (function Audit.Bad_disclosure { agent } -> agent = 0 | _ -> false) r)
 
@@ -426,7 +426,7 @@ let test_swap_disclosure_caught_at_winner_resolution () =
      the unique minimum and agent 0 the deviating discloser. *)
   let bids = [| [| 3 |]; [| 1 |]; [| 4 |]; [| 2 |]; [| 4 |]; [| 3 |] |] in
   let r = run p ~bids ~strategies:(fun i -> if i = 0 then Strategy.Swap_disclosure else Strategy.Suggested) in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "winner resolution failed" true
     (aborted_with
        (function
@@ -439,7 +439,7 @@ let test_swap_disclosure_caught_at_winner_resolution () =
 let test_wrong_lambda_excl_detected () =
   let p = params () in
   let r = run p ~strategies:(fun i -> if i = 2 then Strategy.Wrong_lambda_excl else Strategy.Suggested) in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "blames agent 2" true
     (aborted_with
        (function Audit.Bad_lambda_psi_excl { agent } -> agent = 2 | _ -> false)
@@ -449,15 +449,15 @@ let test_inflate_payment_withheld () =
   let p = params () in
   (* Agent 1 wins task 0 in bids0; it inflates its payment claim. *)
   let r = run p ~strategies:(fun i -> if i = 1 then Strategy.Inflate_payment 7.0 else Strategy.Suggested) in
-  (match r.Protocol.schedule with
+  (match r.Dmw_exec.schedule with
   | Some _ -> ()
   | None -> Alcotest.fail "schedule should still form");
   Alcotest.(check bool) "deviator's entry withheld" true
-    (r.Protocol.payments.(1) = None);
+    (r.Dmw_exec.payments.(1) = None);
   (* Everyone else still gets paid. *)
   Array.iteri
     (fun i pay -> if i <> 1 then Alcotest.(check bool) "issued" true (Option.is_some pay))
-    r.Protocol.payments
+    r.Dmw_exec.payments
 
 (* ------------------------------------------------------------------ *)
 (* Faithfulness and strong voluntary participation                     *)
@@ -472,8 +472,8 @@ let test_faithfulness_no_deviation_profits () =
           let r =
             run p ~strategies:(fun i -> if i = deviator then strategy else Strategy.Suggested)
           in
-          let u_dev = Protocol.utility r ~true_levels:bids0 ~agent:deviator in
-          let u_honest = Protocol.utility honest ~true_levels:bids0 ~agent:deviator in
+          let u_dev = Dmw_exec.utility r ~true_levels:bids0 ~agent:deviator in
+          let u_honest = Dmw_exec.utility honest ~true_levels:bids0 ~agent:deviator in
           Alcotest.(check bool)
             (Printf.sprintf "agent %d, %s: %.1f <= %.1f" deviator
                (Strategy.to_string strategy) u_dev u_honest)
@@ -493,23 +493,23 @@ let test_svp_honest_agents_never_lose () =
             Alcotest.(check bool)
               (Printf.sprintf "agent %d under %s" i (Strategy.to_string strategy))
               true (u >= -1e-9))
-        (Protocol.utilities r ~true_levels:bids0))
+        (Dmw_exec.utilities r ~true_levels:bids0))
     (Strategy.all_deviations ~victim:3)
 
 let test_faithfulness_under_hardened_mode () =
   (* The hardened-disclosure variant must preserve faithfulness: no
      deviation profits there either. *)
   let p = params () in
-  let honest = Protocol.run ~seed:4 p ~bids:bids0 ~keep_events:false ~hardened:true in
+  let honest = Dmw_exec.run ~seed:4 p ~bids:bids0 ~keep_events:false ~hardened:true in
   let deviator = 1 in
-  let u_honest = Protocol.utility honest ~true_levels:bids0 ~agent:deviator in
+  let u_honest = Dmw_exec.utility honest ~true_levels:bids0 ~agent:deviator in
   List.iter
     (fun strategy ->
       let r =
-        Protocol.run ~seed:4 p ~bids:bids0 ~keep_events:false ~hardened:true
+        Dmw_exec.run ~seed:4 p ~bids:bids0 ~keep_events:false ~hardened:true
           ~strategies:(fun i -> if i = deviator then strategy else Strategy.Suggested)
       in
-      let u = Protocol.utility r ~true_levels:bids0 ~agent:deviator in
+      let u = Dmw_exec.utility r ~true_levels:bids0 ~agent:deviator in
       Alcotest.(check bool)
         (Printf.sprintf "%s: %.1f <= %.1f" (Strategy.to_string strategy) u u_honest)
         true (u <= u_honest +. 1e-9))
@@ -521,13 +521,13 @@ let test_misreporting_does_not_profit () =
      helps. *)
   let p = params () in
   let honest = run p in
-  let u_honest = Protocol.utility honest ~true_levels:bids0 ~agent:1 in
+  let u_honest = Dmw_exec.utility honest ~true_levels:bids0 ~agent:1 in
   List.iter
     (fun lie ->
       let bids = Array.map Array.copy bids0 in
       bids.(1).(0) <- lie;
       let r = run p ~bids in
-      let u = Protocol.utility r ~true_levels:bids0 ~agent:1 in
+      let u = Dmw_exec.utility r ~true_levels:bids0 ~agent:1 in
       Alcotest.(check bool)
         (Printf.sprintf "misreport %d: %.1f <= %.1f" lie u u_honest)
         true (u <= u_honest +. 1e-9))
@@ -557,7 +557,7 @@ let test_svp_under_two_simultaneous_deviators () =
               (Printf.sprintf "agent %d under %s + %s" i (Strategy.to_string s1)
                  (Strategy.to_string s2))
               true (u >= -1e-9))
-        (Protocol.utilities r ~true_levels:bids0))
+        (Dmw_exec.utilities r ~true_levels:bids0))
     pairs
 
 let test_outcome_invariant_under_latency_model () =
@@ -566,9 +566,12 @@ let test_outcome_invariant_under_latency_model () =
   let base = run p in
   List.iter
     (fun latency ->
-      let r = Protocol.run ~seed:7 p ~bids:bids0 ~keep_events:false ~latency in
-      Alcotest.(check bool) "completed" true (Protocol.completed r);
-      match (base.Protocol.schedule, r.Protocol.schedule) with
+      let r =
+        Dmw_exec.run ~seed:7 p ~bids:bids0 ~keep_events:false
+          ~backend:(Dmw_exec.sim ~latency ())
+      in
+      Alcotest.(check bool) "completed" true (Dmw_exec.completed r);
+      match (base.Dmw_exec.schedule, r.Dmw_exec.schedule) with
       | Some a, Some b -> Alcotest.(check bool) "same schedule" true (Schedule.equal a b)
       | _ -> Alcotest.fail "missing schedule")
     [ Dmw_sim.Latency.constant 0.004;
@@ -585,8 +588,8 @@ let hostile_injection ~payload_of =
      with the right outcome. *)
   let p = params () in
   let eng_seed = 7 in
-  let r_clean = Protocol.run ~seed:eng_seed p ~bids:bids0 ~keep_events:false in
-  (* Protocol.run has no injection hook; emulate by checking that an
+  let r_clean = Dmw_exec.run ~seed:eng_seed p ~bids:bids0 ~keep_events:false in
+  (* Dmw_exec.run has no injection hook; emulate by checking that an
      Agent fed the hostile payload directly neither crashes nor changes
      state. *)
   let rng = Dmw_bigint.Prng.create ~seed:1 in
@@ -601,7 +604,7 @@ let hostile_injection ~payload_of =
     (fun payload -> Agent.handle tr agent ~src:5 payload)
     (payload_of p);
   Alcotest.(check bool) "agent still active" true (Agent.aborted agent = None);
-  Alcotest.(check bool) "clean run completed" true (Protocol.completed r_clean)
+  Alcotest.(check bool) "clean run completed" true (Dmw_exec.completed r_clean)
 
 let test_hostile_task_index () =
   hostile_injection ~payload_of:(fun _ ->
@@ -705,19 +708,19 @@ let test_network_crash_stalls_safely () =
   let p = params () in
   let fault = Fault.crash_at ~node:2 ~time:0.0005 in
   let r = run p ~fault in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   (* Everyone's realized utility is zero: no allocation happened. *)
   Array.iter
     (fun u -> Alcotest.(check (float 0.0)) "zero utility" 0.0 u)
-    (Protocol.utilities r ~true_levels:bids0)
+    (Dmw_exec.utilities r ~true_levels:bids0)
 
 let test_network_share_loss_stalls () =
   let p = params () in
   let fault = Fault.drop_link ~src:0 ~dst:3 in
   let r = run p ~fault in
-  Alcotest.(check bool) "not completed" false (Protocol.completed r);
+  Alcotest.(check bool) "not completed" false (Dmw_exec.completed r);
   Alcotest.(check bool) "agent 3 stalled in bidding" true
-    (match r.Protocol.statuses.(3).Protocol.aborted with
+    (match r.Dmw_exec.statuses.(3).Dmw_exec.aborted with
     | Some (Audit.Stalled { phase }) -> phase = "bidding"
     | _ -> false)
 
@@ -727,15 +730,15 @@ let test_minimal_configuration () =
      wins and pays its own bid. *)
   let p = Params.make_exn ~group_bits:64 ~seed:3 ~n:3 ~m:1 ~c:1 () in
   Alcotest.(check int) "single level" 1 p.Params.w_max;
-  let r = Protocol.run ~seed:7 p ~bids:[| [| 1 |]; [| 1 |]; [| 1 |] |] in
-  Alcotest.(check bool) "completed" true (Protocol.completed r);
-  (match r.Protocol.second_prices with
+  let r = Dmw_exec.run ~seed:7 p ~bids:[| [| 1 |]; [| 1 |]; [| 1 |] |] in
+  Alcotest.(check bool) "completed" true (Dmw_exec.completed r);
+  (match r.Dmw_exec.second_prices with
   | Some sp -> Alcotest.(check int) "price" 1 sp.(0)
   | None -> Alcotest.fail "no price");
   let rank = Params.pseudonym_rank p in
   let expected = ref 0 in
   Array.iteri (fun i rk -> if rk = 0 then expected := i) rank;
-  match r.Protocol.schedule with
+  match r.Dmw_exec.schedule with
   | Some s -> Alcotest.(check int) "smallest pseudonym" !expected (Schedule.agent_of s ~task:0)
   | None -> Alcotest.fail "no schedule"
 
@@ -745,13 +748,13 @@ let test_batched_and_hardened_combined () =
     [| [| 3; 2; 1 |]; [| 1; 3; 2 |]; [| 4; 4; 3 |]; [| 2; 1; 4 |];
        [| 4; 3; 2 |]; [| 3; 4; 4 |] |]
   in
-  let plain = Protocol.run ~seed:7 p ~bids ~keep_events:false in
+  let plain = Dmw_exec.run ~seed:7 p ~bids ~keep_events:false in
   let both =
-    Protocol.run ~seed:7 p ~bids ~keep_events:false ~batching:true
+    Dmw_exec.run ~seed:7 p ~bids ~keep_events:false ~batching:true
       ~hardened:true
   in
-  Alcotest.(check bool) "completed" true (Protocol.completed both);
-  match (plain.Protocol.schedule, both.Protocol.schedule) with
+  Alcotest.(check bool) "completed" true (Dmw_exec.completed both);
+  match (plain.Dmw_exec.schedule, both.Dmw_exec.schedule) with
   | Some a, Some b -> Alcotest.(check bool) "same" true (Schedule.equal a b)
   | _ -> Alcotest.fail "missing schedule"
 
@@ -765,13 +768,13 @@ let test_chaotic_network_preserves_outcome () =
   List.iter
     (fun seed ->
       let r =
-        Protocol.run ~seed p ~bids:bids0 ~keep_events:false ~jitter:0.6
-          ~duplicate:0.2
+        Dmw_exec.run ~seed p ~bids:bids0 ~keep_events:false
+          ~backend:(Dmw_exec.sim ~jitter:0.6 ~duplicate:0.2 ())
       in
       Alcotest.(check bool)
         (Printf.sprintf "seed %d completed" seed)
-        true (Protocol.completed r);
-      match (base.Protocol.schedule, r.Protocol.schedule) with
+        true (Dmw_exec.completed r);
+      match (base.Dmw_exec.schedule, r.Dmw_exec.schedule) with
       | Some a, Some b ->
           Alcotest.(check bool) "same outcome" true (Schedule.equal a b)
       | _ -> Alcotest.fail "missing schedule")
@@ -779,14 +782,15 @@ let test_chaotic_network_preserves_outcome () =
 
 let test_bandwidth_slows_but_preserves_outcome () =
   let p = params () in
-  let fast = Protocol.run ~seed:7 p ~bids:bids0 ~keep_events:false in
+  let fast = Dmw_exec.run ~seed:7 p ~bids:bids0 ~keep_events:false in
   let slow =
-    Protocol.run ~seed:7 p ~bids:bids0 ~keep_events:false ~bandwidth:50_000.0
+    Dmw_exec.run ~seed:7 p ~bids:bids0 ~keep_events:false
+      ~backend:(Dmw_exec.sim ~bandwidth:50_000.0 ())
   in
-  Alcotest.(check bool) "completed" true (Protocol.completed slow);
+  Alcotest.(check bool) "completed" true (Dmw_exec.completed slow);
   Alcotest.(check bool) "slower" true
-    (slow.Protocol.virtual_duration > fast.Protocol.virtual_duration);
-  match (fast.Protocol.schedule, slow.Protocol.schedule) with
+    (slow.Dmw_exec.duration > fast.Dmw_exec.duration);
+  match (fast.Dmw_exec.schedule, slow.Dmw_exec.schedule) with
   | Some a, Some b -> Alcotest.(check bool) "same outcome" true (Schedule.equal a b)
   | _ -> Alcotest.fail "missing schedule"
 
@@ -795,15 +799,15 @@ let test_realistic_group_size () =
      slow, so small n and one task. *)
   let p = Params.make_exn ~group_bits:256 ~seed:3 ~n:4 ~m:1 ~c:1 () in
   let bids = [| [| 2 |]; [| 1 |]; [| 2 |]; [| 2 |] |] in
-  let r = Protocol.run ~seed:7 p ~bids ~keep_events:false in
-  Alcotest.(check bool) "completed" true (Protocol.completed r);
+  let r = Dmw_exec.run ~seed:7 p ~bids ~keep_events:false in
+  Alcotest.(check bool) "completed" true (Dmw_exec.completed r);
   let rank = Params.pseudonym_rank p in
   let mw =
     Minwork.run
       ~tie_break:(Vickrey.Least_key (fun i -> rank.(i)))
       (Array.map (Array.map float_of_int) bids)
   in
-  match r.Protocol.schedule with
+  match r.Dmw_exec.schedule with
   | Some s -> Alcotest.(check bool) "matches" true (Schedule.equal s mw.Minwork.schedule)
   | None -> Alcotest.fail "no schedule"
 
@@ -811,9 +815,9 @@ let test_checks_performed_positive () =
   let p = params () in
   let r = run p in
   Array.iter
-    (fun (s : Protocol.agent_status) ->
+    (fun (s : Dmw_exec.agent_status) ->
       Alcotest.(check bool) "performed checks" true (s.checks_performed > 0))
-    r.Protocol.statuses
+    r.Dmw_exec.statuses
 
 let () =
   Alcotest.run "dmw_protocol"

@@ -14,9 +14,9 @@ let dmw_messages n =
   let bids =
     Dmw_workload.Workload.random_levels rng ~n ~m:2 ~w_max:p.Params.w_max
   in
-  let r = Protocol.run ~seed:5 p ~bids ~keep_events:false in
-  Alcotest.(check bool) "completed" true (Protocol.completed r);
-  float_of_int (Trace.messages r.Protocol.trace)
+  let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
+  Alcotest.(check bool) "completed" true (Dmw_exec.completed r);
+  float_of_int (Trace.messages r.Dmw_exec.trace)
 
 let test_table1_communication_shape () =
   let ns = [ 4; 6; 8; 10 ] in
@@ -113,8 +113,8 @@ let test_batching_shape () =
     let p = Params.make_exn ~group_bits:64 ~seed:3 ~n:6 ~m ~c:1 () in
     let rng = Dmw_bigint.Prng.create ~seed:m in
     let bids = Dmw_workload.Workload.random_levels rng ~n:6 ~m ~w_max:p.Params.w_max in
-    let r = Protocol.run ~seed:5 p ~bids ~keep_events:false ~batching in
-    Trace.messages r.Protocol.trace
+    let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false ~batching in
+    Trace.messages r.Dmw_exec.trace
   in
   let plain_growth = float_of_int (count ~batching:false 8) /. float_of_int (count ~batching:false 2) in
   let batched_growth = float_of_int (count ~batching:true 8) /. float_of_int (count ~batching:true 2) in

@@ -19,13 +19,13 @@ let bids =
      [| 3; 2 |]; [| 2; 3 |]; [| 3; 3 |]; [| 2; 2 |] |]
 
 let run ?(seed = 9) ~crashed () =
-  Protocol.run ~seed params ~bids ~keep_events:false
+  Dmw_exec.run ~seed params ~bids ~keep_events:false
     ~strategies:(fun i ->
       if List.mem i crashed then Strategy.Crash_after_bidding
       else Strategy.Suggested)
 
 let schedule_of r =
-  match r.Protocol.schedule with
+  match r.Dmw_exec.schedule with
   | Some s -> s
   | None -> Alcotest.fail "expected a schedule"
 
@@ -39,21 +39,21 @@ let test_headroom_accessor () =
 
 let test_no_crash_baseline () =
   let r = run ~crashed:[] () in
-  Alcotest.(check bool) "completes" true (Protocol.completed r)
+  Alcotest.(check bool) "completes" true (Dmw_exec.completed r)
 
 let test_one_crash_completes () =
   let honest = run ~crashed:[] () in
   let r = run ~crashed:[ 6 ] () in
   (* The crashed agent cannot report payments, so full completion
      requires the quorum n - c = 6 <= 7 live reports: satisfied. *)
-  Alcotest.(check bool) "completes" true (Protocol.completed r);
+  Alcotest.(check bool) "completes" true (Dmw_exec.completed r);
   Alcotest.(check bool) "same schedule as crash-free run" true
     (Schedule.equal (schedule_of r) (schedule_of honest))
 
 let test_two_crashes_complete () =
   let honest = run ~crashed:[] () in
   let r = run ~crashed:[ 5; 6 ] () in
-  Alcotest.(check bool) "completes" true (Protocol.completed r);
+  Alcotest.(check bool) "completes" true (Dmw_exec.completed r);
   Alcotest.(check bool) "same schedule" true
     (Schedule.equal (schedule_of r) (schedule_of honest))
 
@@ -63,7 +63,7 @@ let test_crashed_agents_bid_still_counts () =
      the committed bids (its shares live on with the other agents). *)
   let winner_crash = 3 (* unique minimum on task 2 *) in
   let r = run ~crashed:[ winner_crash ] () in
-  Alcotest.(check bool) "completes" true (Protocol.completed r);
+  Alcotest.(check bool) "completes" true (Dmw_exec.completed r);
   Alcotest.(check int) "crashed agent still wins its auction" winner_crash
     (Schedule.agent_of (schedule_of r) ~task:1)
 
@@ -71,11 +71,11 @@ let test_three_crashes_exceed_headroom () =
   (* Three silent agents leave 5 < sigma shares for a first price of 1
      (needs sigma points): the protocol must stall, not misresolve. *)
   let r = run ~crashed:[ 4; 5; 6 ] () in
-  Alcotest.(check bool) "does not complete" false (Protocol.completed r);
-  Alcotest.(check bool) "no schedule" true (r.Protocol.schedule = None);
+  Alcotest.(check bool) "does not complete" false (Dmw_exec.completed r);
+  Alcotest.(check bool) "no schedule" true (r.Dmw_exec.schedule = None);
   Array.iter
     (fun u -> Alcotest.(check (float 0.0)) "utilities zero" 0.0 u)
-    (Protocol.utilities r ~true_levels:bids)
+    (Dmw_exec.utilities r ~true_levels:bids)
 
 let test_full_range_has_no_headroom () =
   (* With the maximal bid range (sigma = n) and a minimum bid of 1, a
@@ -83,18 +83,18 @@ let test_full_range_has_no_headroom () =
   let p = Params.make_exn ~group_bits:64 ~seed:13 ~n:6 ~m:1 ~c:1 () in
   let bids = [| [| 3 |]; [| 1 |]; [| 4 |]; [| 2 |]; [| 4 |]; [| 3 |] |] in
   let r =
-    Protocol.run ~seed:9 p ~bids ~keep_events:false
+    Dmw_exec.run ~seed:9 p ~bids ~keep_events:false
       ~strategies:(fun i ->
         if i = 5 then Strategy.Crash_after_bidding else Strategy.Suggested)
   in
-  Alcotest.(check bool) "stalls" false (Protocol.completed r);
+  Alcotest.(check bool) "stalls" false (Dmw_exec.completed r);
   Alcotest.(check bool) "stalled in first-price resolution" true
     (Array.exists
-       (fun (s : Protocol.agent_status) ->
-         match s.Protocol.aborted with
+       (fun (s : Dmw_exec.agent_status) ->
+         match s.Dmw_exec.aborted with
          | Some (Audit.Stalled { phase }) -> phase = "first-price resolution"
          | _ -> false)
-       r.Protocol.statuses)
+       r.Dmw_exec.statuses)
 
 let test_realized_tolerance_depends_on_prices () =
   (* Even at full range, an auction whose minimum bid is high needs few
@@ -103,12 +103,12 @@ let test_realized_tolerance_depends_on_prices () =
   let p = Params.make_exn ~group_bits:64 ~seed:13 ~n:6 ~m:1 ~c:1 () in
   let bids = [| [| 3 |]; [| 4 |]; [| 4 |]; [| 3 |]; [| 4 |]; [| 4 |] |] in
   let r =
-    Protocol.run ~seed:9 p ~bids ~keep_events:false
+    Dmw_exec.run ~seed:9 p ~bids ~keep_events:false
       ~strategies:(fun i ->
         if i = 5 then Strategy.Crash_after_bidding else Strategy.Suggested)
   in
-  Alcotest.(check bool) "completes" true (Protocol.completed r);
-  match r.Protocol.first_prices with
+  Alcotest.(check bool) "completes" true (Dmw_exec.completed r);
+  match r.Dmw_exec.first_prices with
   | Some fp -> Alcotest.(check int) "first price" 3 fp.(0)
   | None -> Alcotest.fail "no prices"
 
@@ -131,7 +131,7 @@ let test_crash_equivalence_with_minwork () =
           Alcotest.(check (float 0.0)) (Printf.sprintf "payment %d" i)
             mw.Minwork.payments.(i) v
       | None -> Alcotest.failf "payment %d withheld" i)
-    r.Protocol.payments
+    r.Dmw_exec.payments
 
 let test_subset_resolution_unit () =
   (* Exponent_resolution.resolve_present with explicit gaps. *)
