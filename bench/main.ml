@@ -440,6 +440,8 @@ let repeated_leakage () =
         { Leakage.winner = Schedule.agent_of s ~task:0;
           y_star = fp.(0);
           y_star2 = sp.(0) }
+    (* lint: allow partial: benchmark scaffolding — an incomplete run
+       here should abort the whole benchmark loudly. *)
     | _ -> failwith "run failed"
   in
   Printf.printf "observed: winner=A%d, y*=%d, y**=%d\n" (obs.Leakage.winner + 1)

@@ -37,6 +37,8 @@ let describe label params ~crashed =
        with
        | Some s ->
            Format.asprintf "failed (%a)" Audit.pp_reason
+             (* lint: allow partial: the find above selected an agent
+                whose [aborted] is [Some]. *)
              (Option.get s.Dmw_exec.aborted)
        | None -> "failed");
   r

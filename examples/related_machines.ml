@@ -66,6 +66,8 @@ let () =
         (* The protocol's price is a level index; convert to cost. *)
         payments.(w) <- payments.(w) +. (chunk *. levels.(sp.(j) - 1))
       done
+  (* lint: allow partial: example scaffolding — the run above uses the
+     honest strategy profile, which always completes. *)
   | _ -> assert false);
   print_outcome "chunked DMW" ~work ~payments;
   Format.printf "  messages: %d, bytes: %d@."

@@ -26,6 +26,8 @@ let to_int a =
 let to_int_exn a =
   match to_int a with
   | Some i -> i
+  (* lint: allow partial: partiality is this function's documented
+     contract (the [_exn] suffix); callers wanting totality use to_int. *)
   | None -> failwith "Bigint.to_int_exn: value too large"
 
 let to_nat a =
@@ -72,6 +74,8 @@ let ediv_rem a b =
   | -1, bs ->
       if Nat.is_zero r then (mk (-bs) q, zero)
       else (mk (-bs) (Nat.add q Nat.one), mk 1 (Nat.sub b.mag r))
+  (* lint: allow partial: signs are only ever -1, 0 or 1 and the 0
+     divisor case raised above; the remaining sign pairs are covered. *)
   | _ -> assert false
 
 let erem a b = snd (ediv_rem a b)

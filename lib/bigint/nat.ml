@@ -44,6 +44,8 @@ let to_int a =
 let to_int_exn a =
   match to_int a with
   | Some i -> i
+  (* lint: allow partial: partiality is this function's documented
+     contract (the [_exn] suffix); callers wanting totality use to_int. *)
   | None -> failwith "Nat.to_int_exn: value too large"
 
 let compare a b =

@@ -98,9 +98,10 @@ let run ?(center = Honest) ?(agents = fun _ -> Follows) ?(seed = 11) ~n ~m ~c
   Engine.on_message eng ~node:center_id (fun eng d ->
       match d.Engine.payload with
       | Bid_vector v ->
-          if received_bids.(d.Engine.src) = None then begin
+          if Option.is_none received_bids.(d.Engine.src) then begin
             received_bids.(d.Engine.src) <- Some v;
             if Array.for_all Option.is_some received_bids then begin
+              (* lint: allow partial: guarded by the for_all just above *)
               let matrix = tampered_matrix (Array.map Option.get received_bids) in
               for dst = 0 to n - 1 do
                 Engine.send eng ~src:center_id ~dst ~tag:"echo"

@@ -7,6 +7,16 @@ let log_src = Logs.Src.create "dmw.agent" ~doc:"DMW agent phase transitions"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+exception Broken_invariant of string
+(* An [option] that the phase machine guarantees is [Some] turned out
+   to be [None]: a bug in the phase transitions, never reachable from
+   hostile input. Raised instead of [Option.get]/[assert false] so the
+   violated invariant is named in the failure (lint R6). *)
+
+let required what = function
+  | Some v -> v
+  | None -> raise (Broken_invariant what)
+
 type phase = Bidding | Resolving_first | Identifying | Resolving_second | Done_
 
 type task_outcome = { winner : int; y_star : int; y_star2 : int }
@@ -119,7 +129,7 @@ let outcome t ~task = t.tasks.(task).outcome
 let outcomes t = Array.map (fun ts -> ts.outcome) t.tasks
 let reported_payments t = Option.map Array.copy t.payments_sent
 
-let active t = t.aborted = None && not t.crashed
+let active t = Option.is_none t.aborted && not t.crashed
 
 let abort t reason =
   Log.warn (fun m ->
@@ -237,7 +247,8 @@ let start eng t =
         ts.publics.(t.id) <- Some dealer.public)
   done;
   flush eng t;
-  if t.strategy = Strategy.Crash_after_bidding then t.crashed <- true
+  if Strategy.equal t.strategy Strategy.Crash_after_bidding then
+    t.crashed <- true
 
 (* ------------------------------------------------------------------ *)
 (* Phase III helpers.                                                  *)
@@ -328,7 +339,10 @@ let verify_all_shares t j ts =
               abort t (Audit.Bad_share { dealer = i });
               ok := false
         end
-      | _ -> assert false
+      | (None, _ | _, None) ->
+          raise
+            (Broken_invariant
+               "verify_all_shares: advance checked all_some shares/publics")
     end
   done;
   !ok
@@ -338,7 +352,9 @@ let aggregate_of t ts =
   | Some agg -> agg
   | None ->
       let agg =
-        Resolution.aggregate t.params ~publics:(Array.map Option.get ts.publics)
+        Resolution.aggregate t.params
+          ~publics:
+            (Array.map (required "aggregate_of: publics complete") ts.publics)
       in
       ts.agg <- Some agg;
       agg
@@ -349,7 +365,8 @@ let aggregate_excl_of t ts ~winner =
   | None ->
       let agg =
         Bid_commitments.aggregate_exclude (group t) (aggregate_of t ts)
-          (Option.get ts.publics.(winner))
+          (required "aggregate_excl_of: winner's public on file"
+             ts.publics.(winner))
       in
       ts.agg_excl <- Some agg;
       agg
@@ -358,7 +375,7 @@ let sums_of_shares t ts =
   let q = (group t).Group.q in
   Array.fold_left
     (fun (esum, hsum) share ->
-      let s = Option.get share in
+      let s = required "sums_of_shares: shares complete" share in
       (Zmod.add q esum s.Share.e_at, Zmod.add q hsum s.Share.h_at))
     (Bigint.zero, Bigint.zero) ts.shares
 
@@ -388,7 +405,7 @@ let rec advance eng t j =
     | Resolving_first -> attempt_first eng t j ts ~partial:false
     | Identifying -> begin
         match ts.y_star with
-        | None -> assert false
+        | None -> raise (Broken_invariant "Identifying phase implies y_star set")
         | Some y_star ->
             let needed = y_star + 1 in
             if count_some ts.disclosures >= needed then begin
@@ -405,11 +422,19 @@ let rec advance eng t j =
                           match ts.disclosed_h.(k) with
                           | Some h_row ->
                               Resolution.verify_disclosure_hardened t.params
-                                ~publics:(Array.map Option.get ts.publics)
+                                ~publics:
+                                  (Array.map
+                                     (required "eq13: publics complete")
+                                     ts.publics)
                                 ~k ~f_row ~h_row
                           | None -> false
                         else begin
-                          let _, psi = Option.get ts.lambda_psi.(k) in
+                          let _, psi =
+                            required
+                              "eq13: discloser's lambda/psi on file (checked \
+                               on receipt)"
+                              ts.lambda_psi.(k)
+                          in
                           Resolution.verify_disclosure t.params ~agg ~k ~f_row
                             ~psi
                         end
@@ -438,8 +463,14 @@ let rec advance eng t j =
                 | Some w ->
                     ts.winner <- Some w;
                     (* III.4: publish winner-excluded (Λ̄, Ψ̄). *)
-                    let share_w = Option.get ts.shares.(w) in
-                    let lambda0, psi0 = Option.get ts.lambda_psi.(t.id) in
+                    let share_w =
+                      required "III.4: winner's share held since Phase II"
+                        ts.shares.(w)
+                    in
+                    let lambda0, psi0 =
+                      required "III.4: own lambda/psi published in III.2"
+                        ts.lambda_psi.(t.id)
+                    in
                     let lambda =
                       match t.strategy with
                       | Strategy.Wrong_lambda_excl -> random_element t
@@ -527,7 +558,7 @@ and attempt_second eng t j ts ~partial =
   let present = count_some ts.lambda_psi2 in
   let ready = all_some ts.lambda_psi2 in
   if ready || (partial && present >= min_resolution_points t.params) then begin
-    let w = Option.get ts.winner in
+    let w = required "III.5: winner identified before second resolution" ts.winner in
     let agg_excl = aggregate_excl_of t ts ~winner:w in
     let ok = ref true in
     for k = 0 to n_of t - 1 do
@@ -561,7 +592,10 @@ and attempt_second eng t j ts ~partial =
           Log.debug (fun m ->
               m "agent %d task %d: winner %d, second price %d" t.id j w y_star2);
           ts.outcome <-
-            Some { winner = w; y_star = Option.get ts.y_star; y_star2 };
+            Some
+              { winner = w;
+                y_star = required "III.5: y_star set since first resolution" ts.y_star;
+                y_star2 };
           ts.phase <- Done_;
           maybe_send_payments eng t
       | None ->
@@ -589,14 +623,14 @@ and schedule_resolution_check eng t j ts ~phase_ =
 (* Phase IV: once every auction is resolved, report the payment vector
    to the payment infrastructure (node index n). *)
 and maybe_send_payments eng t =
-  if t.payments_sent = None
+  if Option.is_none t.payments_sent
      && Array.for_all (fun ts -> ts.phase = Done_) t.tasks then begin
     let payments = Array.make (n_of t) 0.0 in
     Array.iter
       (fun ts ->
         match ts.outcome with
         | Some o -> payments.(o.winner) <- payments.(o.winner) +. float_of_int o.y_star2
-        | None -> assert false)
+        | None -> raise (Broken_invariant "Done_ phase implies outcome set"))
       t.tasks;
     (match t.strategy with
     | Strategy.Inflate_payment delta -> payments.(t.id) <- payments.(t.id) +. delta
@@ -653,23 +687,26 @@ let rec handle_payload eng t ~src payload =
           (fun m ->
             match m with
             | Messages.Batch _ -> ()
-            | _ -> handle_payload eng t ~src m)
+            | Messages.Share _ | Messages.Commitments _ | Messages.Lambda_psi _
+            | Messages.F_disclosure _ | Messages.F_disclosure_hardened _
+            | Messages.Lambda_psi_excl _ | Messages.Payment_report _ ->
+                handle_payload eng t ~src m)
           msgs
     | Messages.Share { task; share } ->
         let ts = t.tasks.(task) in
-        if ts.shares.(src) = None then begin
+        if Option.is_none ts.shares.(src) then begin
           ts.shares.(src) <- Some share;
           advance eng t task
         end
     | Messages.Commitments { task; public } ->
         let ts = t.tasks.(task) in
-        if ts.publics.(src) = None then begin
+        if Option.is_none ts.publics.(src) then begin
           ts.publics.(src) <- Some public;
           advance eng t task
         end
     | Messages.Lambda_psi { task; lambda; psi } ->
         let ts = t.tasks.(task) in
-        if ts.lambda_psi.(src) = None then begin
+        if Option.is_none ts.lambda_psi.(src) then begin
           ts.lambda_psi.(src) <- Some (lambda, psi);
           advance eng t task
         end
@@ -683,8 +720,8 @@ let rec handle_payload eng t ~src payload =
            selective message loss) is likewise treated as withheld. *)
         if (not t.hardened)
            && Array.length f_row = n_of t
-           && ts.disclosures.(src) = None
-           && ts.lambda_psi.(src) <> None
+           && Option.is_none ts.disclosures.(src)
+           && Option.is_some ts.lambda_psi.(src)
         then begin
           ts.disclosures.(src) <- Some f_row;
           advance eng t task
@@ -694,7 +731,7 @@ let rec handle_payload eng t ~src payload =
         if t.hardened
            && Array.length f_row = n_of t
            && Array.length h_row = n_of t
-           && ts.disclosures.(src) = None
+           && Option.is_none ts.disclosures.(src)
         then begin
           ts.disclosures.(src) <- Some f_row;
           ts.disclosed_h.(src) <- Some h_row;
@@ -702,7 +739,7 @@ let rec handle_payload eng t ~src payload =
         end
     | Messages.Lambda_psi_excl { task; lambda; psi } ->
         let ts = t.tasks.(task) in
-        if ts.lambda_psi2.(src) = None then begin
+        if Option.is_none ts.lambda_psi2.(src) then begin
           ts.lambda_psi2.(src) <- Some (lambda, psi);
           advance eng t task
         end
@@ -721,7 +758,7 @@ let phase_name = function
   | Done_ -> "done"
 
 let finalize_stall t =
-  if t.aborted = None
+  if Option.is_none t.aborted
      && not (Array.for_all (fun ts -> ts.phase = Done_) t.tasks) then begin
     let first_unfinished =
       Array.to_list t.tasks
@@ -736,12 +773,16 @@ let consensus agents ~c =
   let resolved =
     Array.to_list agents
     |> List.filter (fun a ->
-           aborted a = None && Array.for_all Option.is_some (outcomes a))
+           Option.is_none (aborted a)
+           && Array.for_all Option.is_some (outcomes a))
   in
   match resolved with
   | [] -> None
   | first :: rest ->
-      let view a = Array.map Option.get (outcomes a) in
+      let view a =
+        Array.map (required "consensus: filtered to fully-resolved agents")
+          (outcomes a)
+      in
       let v0 = view first in
       if List.length resolved >= n - c
          && List.for_all (fun a -> view a = v0) rest

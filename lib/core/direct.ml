@@ -44,9 +44,8 @@ let lambdas_of (params : Params.t) data =
 let resolve_auction (params : Params.t) data =
   let lambdas = lambdas_of params data in
   let y_star =
-    match Resolution.first_price params ~lambdas with
-    | Some y -> y
-    | None -> failwith "Direct: first-price resolution failed"
+    Resolution.require ~stage:"Direct: first price"
+      (Resolution.first_price params ~lambdas)
   in
   let rows =
     List.map
@@ -55,9 +54,8 @@ let resolve_auction (params : Params.t) data =
       (Params.disclosers params ~y_star)
   in
   let winner =
-    match Resolution.winner params ~y_star ~rows with
-    | Some w -> w
-    | None -> failwith "Direct: winner identification failed"
+    Resolution.require ~stage:"Direct: winner identification"
+      (Resolution.winner params ~y_star ~rows)
   in
   let lambdas_excl =
     Array.mapi
@@ -69,9 +67,8 @@ let resolve_auction (params : Params.t) data =
       lambdas
   in
   let y_star2 =
-    match Resolution.second_price params ~lambdas_excl with
-    | Some y -> y
-    | None -> failwith "Direct: second-price resolution failed"
+    Resolution.require ~stage:"Direct: second price"
+      (Resolution.second_price params ~lambdas_excl)
   in
   (winner, y_star, y_star2)
 
@@ -160,7 +157,10 @@ let agent_cost ?(seed = 42) (params : Params.t) ~bids ~agent =
                   ~alpha:params.alphas.(agent) share
               with
               | Ok _ -> ()
-              | Error _ -> failwith "Direct.agent_cost: unexpected bad share"
+              | Error _ ->
+                  raise
+                    (Resolution.Resolution_failure
+                       "agent_cost: unexpected bad share")
             end)
           own_shares);
     (* III.2 for everyone (others uncounted). *)
@@ -183,14 +183,16 @@ let agent_cost ?(seed = 42) (params : Params.t) ~bids ~agent =
           (fun k (lambda, psi) ->
             if k <> agent then
               if not (Resolution.verify_lambda_psi params ~agg ~k ~lambda ~psi)
-              then failwith "Direct.agent_cost: unexpected bad lambda")
+              then
+                raise
+                  (Resolution.Resolution_failure
+                     "agent_cost: unexpected bad lambda"))
           pairs);
     let lambdas = Array.map fst pairs in
     let y_star =
       counted (fun () ->
-          match Resolution.first_price params ~lambdas with
-          | Some y -> y
-          | None -> failwith "Direct.agent_cost: resolution failed")
+          Resolution.require ~stage:"agent_cost: first price"
+            (Resolution.first_price params ~lambdas))
     in
     (* Winner identification, counted: verify disclosures + degree tests. *)
     let disclosers = Params.disclosers params ~y_star in
@@ -206,12 +208,14 @@ let agent_cost ?(seed = 42) (params : Params.t) ~bids ~agent =
               if k <> agent then begin
                 let _, psi = pairs.(k) in
                 if not (Resolution.verify_disclosure params ~agg ~k ~f_row ~psi)
-                then failwith "Direct.agent_cost: unexpected bad disclosure"
+                then
+                  raise
+                    (Resolution.Resolution_failure
+                       "agent_cost: unexpected bad disclosure")
               end)
             rows;
-          match Resolution.winner params ~y_star ~rows with
-          | Some w -> w
-          | None -> failwith "Direct.agent_cost: winner failed")
+          Resolution.require ~stage:"agent_cost: winner identification"
+            (Resolution.winner params ~y_star ~rows))
     in
     (* Second price, counted: aggregate exclusion, own pair, verify, resolve. *)
     let lambdas_excl =
@@ -240,12 +244,15 @@ let agent_cost ?(seed = 42) (params : Params.t) ~bids ~agent =
               if not
                    (Resolution.verify_lambda_psi_excl params ~agg_excl ~k
                       ~lambda ~psi)
-              then failwith "Direct.agent_cost: unexpected bad excl lambda"
+              then
+                raise
+                  (Resolution.Resolution_failure
+                     "agent_cost: unexpected bad excl lambda")
             end)
           lambdas_excl;
-        match Resolution.second_price params ~lambdas_excl with
-        | Some _ -> ()
-        | None -> failwith "Direct.agent_cost: second price failed")
+        ignore
+          (Resolution.require ~stage:"agent_cost: second price"
+             (Resolution.second_price params ~lambdas_excl)))
   done;
   { multiplications = Zmod.Counters.multiplications ();
     exponentiations = Zmod.Counters.exponentiations ();

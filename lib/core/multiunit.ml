@@ -43,9 +43,8 @@ let run ?(seed = 42) (params : Params.t) ~bids ~units =
   let f_values = Array.init n (fun i -> Array.init n (fun k -> (share i k).Share.f_at)) in
   let rec rounds lambdas won prices remaining =
     let y_star =
-      match Resolution.first_price params ~lambdas with
-      | Some y -> y
-      | None -> failwith "Multiunit.run: resolution failed"
+      Resolution.require ~stage:"Multiunit: price resolution"
+        (Resolution.first_price params ~lambdas)
     in
     if remaining = 0 then
       { winners = List.rev won; prices = List.rev prices; clearing_price = y_star }
@@ -70,7 +69,9 @@ let run ?(seed = 42) (params : Params.t) ~bids ~units =
              None
       in
       match winner with
-      | None -> failwith "Multiunit.run: winner identification failed"
+      | None ->
+          raise
+            (Resolution.Resolution_failure "Multiunit: winner identification")
       | Some w ->
           (* eq. 15: divide the winner's e out of every Λ. *)
           let lambdas =
@@ -88,7 +89,7 @@ let run ?(seed = 42) (params : Params.t) ~bids ~units =
 let reference ~bids ~units =
   let n = Array.length bids in
   let order = List.init n Fun.id in
-  let sorted = List.stable_sort (fun a b -> Stdlib.compare bids.(a) bids.(b)) order in
+  let sorted = List.stable_sort (fun a b -> Int.compare bids.(a) bids.(b)) order in
   let winners = List.filteri (fun i _ -> i < units) sorted in
   { winners;
     prices = List.map (fun i -> bids.(i)) winners;
@@ -101,7 +102,10 @@ let run_reference_consistent ?seed (params : Params.t) ~bids ~units =
   let n = Array.length bids in
   let sorted =
     List.sort
-      (fun a b -> Stdlib.compare (bids.(a), rank.(a)) (bids.(b), rank.(b)))
+      (fun a b ->
+        match Int.compare bids.(a) bids.(b) with
+        | 0 -> Int.compare rank.(a) rank.(b)
+        | c -> c)
       (List.init n Fun.id)
   in
   let expected_winners = List.filteri (fun i _ -> i < units) sorted in

@@ -3,7 +3,7 @@ type t = { n : int; reports : float array option array }
 let create ~n = { n; reports = Array.make n None }
 
 let receive t ~from_ payments =
-  if from_ >= 0 && from_ < t.n && t.reports.(from_) = None then
+  if from_ >= 0 && from_ < t.n && Option.is_none t.reports.(from_) then
     if Array.length payments = t.n then
       t.reports.(from_) <- Some (Array.copy payments)
 
@@ -26,5 +26,6 @@ let settle t ~quorum =
 let settle_all_or_nothing t ~quorum =
   let entries = settle t ~quorum in
   if Array.for_all Option.is_some entries then
+    (* lint: allow partial: guarded by the for_all just above *)
     Some (Array.map Option.get entries)
   else None

@@ -9,7 +9,7 @@ let recover_bid (params : Params.t) ~points ~e_values =
   (* Degrees of valid bid encodings, ascending. *)
   let candidates =
     List.map (fun y -> Params.tau_of_bid params y) (Params.bid_levels params)
-    |> List.sort Stdlib.compare
+    |> List.sort Int.compare
   in
   match
     Dmw_poly.Degree_resolution.resolve ~modulus:q ~points ~values:e_values
@@ -21,7 +21,7 @@ let recover_bid (params : Params.t) ~points ~e_values =
 (* deg f = bid directly (no inversion through sigma). *)
 let recover_bid_f (params : Params.t) ~points ~f_values =
   let q = params.group.Dmw_modular.Group.q in
-  let candidates = List.sort Stdlib.compare (Params.bid_levels params) in
+  let candidates = List.sort Int.compare (Params.bid_levels params) in
   Dmw_poly.Degree_resolution.resolve ~modulus:q ~points ~values:f_values
     ~candidates
 

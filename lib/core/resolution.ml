@@ -2,6 +2,12 @@ open Dmw_bigint
 open Dmw_modular
 open Dmw_crypto
 
+exception Resolution_failure of string
+
+let require ~stage = function
+  | Some v -> v
+  | None -> raise (Resolution_failure stage)
+
 let resolve_price (params : Params.t) elements =
   match
     Exponent_resolution.resolve params.group ~points:params.alphas ~elements
@@ -15,7 +21,7 @@ let second_price params ~lambdas_excl = resolve_price params lambdas_excl
 
 let winner (params : Params.t) ~y_star ~rows =
   let needed = y_star + 1 in
-  let rows = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows in
+  let rows = List.sort (fun (a, _) (b, _) -> Int.compare a b) rows in
   if List.length rows < needed then None
   else begin
     let rows = List.filteri (fun i _ -> i < needed) rows in

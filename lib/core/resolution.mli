@@ -10,6 +10,17 @@ open Dmw_bigint
 open Dmw_modular
 open Dmw_crypto
 
+exception Resolution_failure of string
+(** A transcript that passed every commitment check still failed to
+    resolve — either a protocol bug or a forgery outside the checked
+    class. Carries the stage name ("first price", "winner
+    identification", ...). *)
+
+val require : stage:string -> 'a option -> 'a
+(** [require ~stage o] unwraps [o], raising
+    [Resolution_failure stage] on [None]. The typed replacement for
+    [Option.get]/[failwith] in resolution hot paths (lint R6). *)
+
 val first_price : Params.t -> lambdas:Group.elt array -> int option
 (** Resolve [y* = σ − deg E] from the published [Λ_k] (eq. 12),
     scanning the candidate degrees of

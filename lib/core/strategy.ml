@@ -31,6 +31,32 @@ let all_deviations ~victim =
 
 let is_suggested = function Suggested -> true | _ -> false
 
+let equal a b =
+  match (a, b) with
+  | Suggested, Suggested
+  | Withhold_commitments, Withhold_commitments
+  | Corrupt_commitments, Corrupt_commitments
+  | Wrong_lambda, Wrong_lambda
+  | Crash_after_bidding, Crash_after_bidding
+  | Withhold_disclosure, Withhold_disclosure
+  | Over_disclose, Over_disclose
+  | Corrupt_disclosure, Corrupt_disclosure
+  | Swap_disclosure, Swap_disclosure
+  | Swap_disclosure_pairs, Swap_disclosure_pairs
+  | Wrong_lambda_excl, Wrong_lambda_excl ->
+      true
+  | Corrupt_share_to u, Corrupt_share_to v
+  | Withhold_share_from u, Withhold_share_from v ->
+      Int.equal u v
+  | Inflate_payment u, Inflate_payment v -> Float.equal u v
+  | ( ( Suggested | Corrupt_share_to _ | Withhold_share_from _
+      | Withhold_commitments | Corrupt_commitments | Wrong_lambda
+      | Crash_after_bidding | Withhold_disclosure | Over_disclose
+      | Corrupt_disclosure | Swap_disclosure | Swap_disclosure_pairs
+      | Wrong_lambda_excl | Inflate_payment _ ),
+      _ ) ->
+      false
+
 let to_string = function
   | Suggested -> "suggested"
   | Corrupt_share_to v -> Printf.sprintf "corrupt_share_to(%d)" v

@@ -55,4 +55,10 @@ val all_deviations : victim:int -> t list
     [victim] parameterizes the targeted ones. *)
 
 val is_suggested : t -> bool
+
+val equal : t -> t -> bool
+(** Typed equality ([Float.equal] on the [Inflate_payment] payload).
+    Use this instead of polymorphic [=], which the lint (R2) rejects
+    in protocol code. *)
+
 val to_string : t -> string

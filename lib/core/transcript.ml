@@ -65,9 +65,8 @@ let of_direct ?(seed = 42) (params : Params.t) ~bids =
   in
   let lambdas = Array.map fst lambda_psi in
   let y_star =
-    match Resolution.first_price params ~lambdas with
-    | Some y -> y
-    | None -> failwith "Transcript.of_direct: resolution failed"
+    Resolution.require ~stage:"Transcript: first price"
+      (Resolution.first_price params ~lambdas)
   in
   let disclosures =
     List.map
@@ -75,9 +74,8 @@ let of_direct ?(seed = 42) (params : Params.t) ~bids =
       (Params.disclosers params ~y_star)
   in
   let winner =
-    match Resolution.winner params ~y_star ~rows:disclosures with
-    | Some w -> w
-    | None -> failwith "Transcript.of_direct: winner failed"
+    Resolution.require ~stage:"Transcript: winner identification"
+      (Resolution.winner params ~y_star ~rows:disclosures)
   in
   let lambda_psi_excl =
     Array.mapi

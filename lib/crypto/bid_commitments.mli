@@ -30,6 +30,9 @@ type public = {
   qv : Pedersen.t array; (** [Q_{ℓ}]. *)
   r : Pedersen.t array; (** [R_{ℓ}]. *)
 }
+(** A dealer's published commitment vectors. Compare entries with
+    {!Pedersen.equal}; polymorphic [=] over whole vectors is rejected
+    by lint rule R2. *)
 
 type dealer = {
   e : Dmw_poly.Poly.t;

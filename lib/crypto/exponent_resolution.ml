@@ -16,7 +16,7 @@ let test group ~points ~elements ~candidate =
 let resolve group ~points ~elements ~candidates =
   let n = min (Array.length points) (Array.length elements) in
   let usable = List.filter (fun c -> c >= 0 && c + 1 <= n) candidates in
-  let sorted = List.sort_uniq Stdlib.compare usable in
+  let sorted = List.sort_uniq Int.compare usable in
   List.find_opt (fun candidate -> test group ~points ~elements ~candidate) sorted
 
 let resolve_present group ~points ~elements ~candidates =

@@ -10,7 +10,10 @@ open Dmw_bigint
 open Dmw_modular
 
 type t = private Bigint.t
-(** A commitment; equality is group-element equality. *)
+(** A commitment; equality is group-element equality. Compare with
+    {!equal}, never polymorphic [=] — commitments are canonical group
+    elements today, but [=] silently bakes that representation detail
+    into call sites (and lint rule R2 rejects it). *)
 
 val commit : Group.t -> value:Bigint.t -> blinding:Bigint.t -> t
 val verify : Group.t -> t -> value:Bigint.t -> blinding:Bigint.t -> bool
@@ -25,7 +28,10 @@ val mul : Group.t -> t -> t -> t
     commit (a+a') (b+b')]. *)
 
 val pow : Group.t -> t -> Bigint.t -> t
+
 val equal : t -> t -> bool
+(** The one sanctioned commitment equality (see the [type t] note). *)
+
 val to_element : t -> Group.elt
 val of_element : Group.elt -> t
 val byte_size : Group.t -> int

@@ -18,4 +18,8 @@ val byte_size : Group.t -> int
 (** Wire size of one share bundle (four exponents). *)
 
 val equal : t -> t -> bool
+(** Field-wise {!Dmw_bigint.Bigint.equal}. Use this, not polymorphic
+    [=]: the exponents are bignums whose structural equality is a
+    representation accident (lint rule R2 rejects [=] on shares). *)
+
 val pp : Format.formatter -> t -> unit

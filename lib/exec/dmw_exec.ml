@@ -4,6 +4,7 @@ module Trace = Dmw_sim.Trace
 module Engine = Dmw_sim.Engine
 module Mailbox = Dmw_runtime.Mailbox
 module Timer = Dmw_runtime.Timer
+module Mutex_util = Dmw_runtime.Mutex_util
 module Frame = Dmw_net.Frame
 module Fabric = Dmw_net.Fabric
 module Endpoint = Dmw_net.Endpoint
@@ -89,7 +90,13 @@ module Sim_backend = struct
     Engine.on_message eng ~node:n (fun _ d ->
         match d.Engine.payload with
         | Messages.Payment_report { payments } -> report ~src:d.Engine.src payments
-        | _ -> ());
+        | Messages.Share _ | Messages.Commitments _ | Messages.Lambda_psi _
+        | Messages.F_disclosure _ | Messages.F_disclosure_hardened _
+        | Messages.Lambda_psi_excl _ | Messages.Batch _ ->
+            (* The infrastructure node only understands payment reports;
+               anything else addressed to it is a protocol bug upstream
+               and is dropped, not silently half-handled. *)
+            ());
     Engine.at eng ~time:0.0 (fun () ->
         Array.iteri (fun i a -> Agent.start transports.(i) a) agents);
     Engine.run eng;
@@ -110,11 +117,10 @@ let concurrent_trace ~keep_events =
   let mutex = Mutex.create () in
   let t0 = Unix.gettimeofday () in
   let record ~src ~dst ~tag ~bytes =
-    Mutex.lock mutex;
-    Trace.record trace
-      { Trace.time = Unix.gettimeofday () -. t0; src; dst; tag; bytes;
-        broadcast = false };
-    Mutex.unlock mutex
+    Mutex_util.with_lock mutex (fun () ->
+        Trace.record trace
+          { Trace.time = Unix.gettimeofday () -. t0; src; dst; tag; bytes;
+            broadcast = false })
   in
   (trace, t0, record)
 
@@ -164,7 +170,11 @@ module Thread_backend = struct
                   match msg with
                   | Messages.Payment_report { payments } ->
                       Mailbox.push reports (i, payments)
-                  | _ -> ()
+                  | Messages.Share _ | Messages.Commitments _
+                  | Messages.Lambda_psi _ | Messages.F_disclosure _
+                  | Messages.F_disclosure_hardened _ | Messages.Lambda_psi_excl _
+                  | Messages.Batch _ ->
+                      ()
                 else if dst >= 0 && dst < n then
                   Mailbox.push boxes.(dst) (Deliver { src = i; msg }));
             schedule =
@@ -233,7 +243,12 @@ module Socket_backend = struct
                 match Codec.decode payload with
                 | Ok (Messages.Payment_report { payments }) ->
                     Some (src, payments)
-                | Ok _ | Error _ ->
+                | Ok
+                    ( Messages.Share _ | Messages.Commitments _
+                    | Messages.Lambda_psi _ | Messages.F_disclosure _
+                    | Messages.F_disclosure_hardened _
+                    | Messages.Lambda_psi_excl _ | Messages.Batch _ )
+                | Error _ ->
                     (* Not a report: skip it without consuming the
                        caller's one-report budget. *)
                     Some (-1, [||])))
@@ -329,11 +344,13 @@ let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
         match
           Array.to_list agents
           |> List.find_opt (fun a ->
-                 Agent.aborted a = None
+                 Option.is_none (Agent.aborted a)
                  && Array.for_all Option.is_some (Agent.outcomes a))
         with
         | None -> (None, None)
         | Some a ->
+            (* lint: allow partial: find_opt above selects an agent whose
+               outcomes are all [Some]. *)
             let outcomes = Array.map Option.get (Agent.outcomes a) in
             ( Some (Array.map (fun (o : Agent.task_outcome) -> o.y_star) outcomes),
               Some (Array.map (fun (o : Agent.task_outcome) -> o.y_star2) outcomes)

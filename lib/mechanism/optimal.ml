@@ -43,6 +43,8 @@ let run ?(limit = 50_000_000) times =
   let explored = ref 0 in
   let rec go r current_max =
     incr explored;
+    (* lint: allow partial: deliberate fail-fast guard on the
+       exponential search, not a protocol path. *)
     if !explored > limit then failwith "Optimal.run: node limit exceeded";
     if r = m then begin
       if current_max < !best then begin

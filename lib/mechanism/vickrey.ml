@@ -18,13 +18,17 @@ let run ?(tie_break = First_index) bids =
     List.filter (fun i -> bids.(i) = min_bid) (List.init n Fun.id)
   in
   let winner =
-    match tie_break with
-    | First_index -> List.hd tied
-    | Random rng -> Dmw_bigint.Prng.pick rng (Array.of_list tied)
-    | Least_key key ->
-        List.fold_left
-          (fun acc i -> if key i < key acc then i else acc)
-          (List.hd tied) (List.tl tied)
+    (* [tied] holds at least the argmin of a non-empty array. *)
+    match tied with
+    | [] -> invalid_arg "Vickrey.run: empty tie set"
+    | first :: rest -> (
+        match tie_break with
+        | First_index -> first
+        | Random rng -> Dmw_bigint.Prng.pick rng (Array.of_list tied)
+        | Least_key key ->
+            List.fold_left
+              (fun acc i -> if key i < key acc then i else acc)
+              first rest)
   in
   (* Second price: minimum over everyone except the winner. *)
   let price = ref infinity in

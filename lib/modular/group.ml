@@ -58,6 +58,9 @@ let generate rng ~bits =
   let z2 = gen_distinct () in
   match create ~p ~q ~z1 ~z2 with
   | Ok g -> g
+  (* lint: allow partial: generate just constructed p, q and the
+     generators to satisfy create's checks; a failure here is a bug in
+     this function, not an input error. *)
   | Error msg -> failwith ("Group.generate: internal error: " ^ msg)
 
 (* Pre-generated with [generate (Prng.create ~seed:0xD3A) ~bits] — see
@@ -112,6 +115,9 @@ let standard ~bits =
                 ~z1:(Bigint.of_string z1) ~z2:(Bigint.of_string z2)
             with
             | Ok g -> g
+            (* lint: allow partial: the baked-in constants are
+               re-validated by test/test_modular.ml; failing here means
+               the source text itself was corrupted. *)
             | Error msg -> failwith ("Group.standard: corrupt constant: " ^ msg)
           in
           Hashtbl.add standard_cache bits g;

@@ -17,7 +17,11 @@ type t = private {
 }
 
 type elt = Bigint.t
-(** Subgroup elements, canonical in [[1, p-1]]. *)
+(** Subgroup elements, canonical in [[1, p-1]]. Compare with {!equal},
+    never polymorphic [=]: the alias to [Bigint.t] is an interface
+    convenience, and structural bignum comparison both bypasses the
+    typed path and breaks if the representation ever carries slack
+    (lint rule R2 rejects [=] on elements). *)
 
 val create :
   p:Bigint.t -> q:Bigint.t -> z1:Bigint.t -> z2:Bigint.t ->

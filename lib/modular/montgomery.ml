@@ -32,7 +32,7 @@ let redc ctx t =
   (* m = (t mod R) * n' mod R. *)
   let m = low_bits (mul (low_bits t ctx.rbits) ctx.n') ctx.rbits in
   let u = shift_right (add t (mul m ctx.n)) ctx.rbits in
-  if compare u ctx.n >= 0 then sub u ctx.n else u
+  if Bigint.compare u ctx.n >= 0 then sub u ctx.n else u
 
 let mul_m ctx a b =
   Zmod.Counters.bump_mul ();
@@ -54,32 +54,35 @@ let ctx_cache_lock = Mutex.create ()
 let ctx_cache_cap = 64
 let ctx_cache_size = ref 0
 
+(* [dmw_modular] sits below [dmw_runtime] in the dependency order, so
+   it cannot use [Mutex_util.with_lock]; [Fun.protect] gives the same
+   unlock-on-every-path guarantee ([create] raises on a degenerate
+   modulus). *)
 let cached_ctx n =
   Mutex.lock ctx_cache_lock;
-  if !ctx_cache_size >= ctx_cache_cap then begin
-    Hashtbl.reset ctx_cache;
-    ctx_cache_size := 0
-  end;
-  let h = Bigint.hash n in
-  let bucket =
-    match Hashtbl.find_opt ctx_cache h with
-    | Some b -> b
-    | None ->
-        let b = ref [] in
-        Hashtbl.add ctx_cache h b;
-        b
-  in
-  let ctx =
-    match List.find_opt (fun (m, _) -> Bigint.equal m n) !bucket with
-    | Some (_, ctx) -> ctx
-    | None ->
-        let ctx = create n in
-        bucket := (n, ctx) :: !bucket;
-        incr ctx_cache_size;
-        ctx
-  in
-  Mutex.unlock ctx_cache_lock;
-  ctx
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock ctx_cache_lock)
+    (fun () ->
+      if !ctx_cache_size >= ctx_cache_cap then begin
+        Hashtbl.reset ctx_cache;
+        ctx_cache_size := 0
+      end;
+      let h = Bigint.hash n in
+      let bucket =
+        match Hashtbl.find_opt ctx_cache h with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.add ctx_cache h b;
+            b
+      in
+      match List.find_opt (fun (m, _) -> Bigint.equal m n) !bucket with
+      | Some (_, ctx) -> ctx
+      | None ->
+          let ctx = create n in
+          bucket := (n, ctx) :: !bucket;
+          incr ctx_cache_size;
+          ctx)
 
 let pow ctx b e =
   if Bigint.sign e < 0 then invalid_arg "Montgomery.pow: negative exponent";

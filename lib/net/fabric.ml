@@ -162,13 +162,12 @@ let create ~endpoints =
 let endpoint_fd t i = t.endpoint_fds.(i)
 
 let broadcast_stop t =
-  Mutex.lock t.control_mutex;
-  if not t.stop_sent then begin
-    t.stop_sent <- true;
-    (try Frame.write t.control_fd ~src:stop_src ~dst:broadcast_dst ""
-     with Unix.Unix_error (_, _, _) -> ())
-  end;
-  Mutex.unlock t.control_mutex
+  Dmw_runtime.Mutex_util.with_lock t.control_mutex (fun () ->
+      if not t.stop_sent then begin
+        t.stop_sent <- true;
+        try Frame.write t.control_fd ~src:stop_src ~dst:broadcast_dst ""
+        with Unix.Unix_error (_, _, _) -> ()
+      end)
 
 let shutdown t =
   broadcast_stop t;

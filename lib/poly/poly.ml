@@ -68,6 +68,8 @@ let eval p x =
 
 let random rng ~modulus ~degree ~zero_constant =
   if degree < 0 then invalid_arg "Poly.random: negative degree";
+  (* lint: allow bigint-arith: computing the sampling range bound
+     [modulus - 1], not field arithmetic on a protocol value. *)
   let nonzero () = Prng.in_range rng ~lo:Bigint.one ~hi:(Bigint.sub modulus Bigint.one) in
   let c =
     Array.init (degree + 1) (fun i ->

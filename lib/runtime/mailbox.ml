@@ -10,48 +10,43 @@ let create () =
     queue = Queue.create (); closed = false }
 
 let push t v =
-  Mutex.lock t.mutex;
-  if not t.closed then begin
-    Queue.push v t.queue;
-    Condition.signal t.nonempty
-  end;
-  Mutex.unlock t.mutex
+  Mutex_util.with_lock t.mutex (fun () ->
+      if not t.closed then begin
+        Queue.push v t.queue;
+        Condition.signal t.nonempty
+      end)
 
 let close t =
-  Mutex.lock t.mutex;
-  t.closed <- true;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.mutex
+  Mutex_util.with_lock t.mutex (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
 
 let pop ?timeout t =
-  Mutex.lock t.mutex;
   let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) timeout in
-  let rec wait () =
-    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
-    else if t.closed then None
-    else begin
-      match deadline with
-      | None ->
-          Condition.wait t.nonempty t.mutex;
-          wait ()
-      | Some dl ->
-          if Unix.gettimeofday () >= dl then None
-          else begin
-            (* Condition.wait has no timeout in the stdlib: poll with a
-               short sleep while releasing the lock. *)
-            Mutex.unlock t.mutex;
-            Thread.delay 0.002;
-            Mutex.lock t.mutex;
-            wait ()
-          end
-    end
+  let rec attempt () =
+    let r =
+      Mutex_util.with_lock t.mutex (fun () ->
+          let rec wait () =
+            if not (Queue.is_empty t.queue) then `Item (Queue.pop t.queue)
+            else if t.closed then `Done
+            else
+              match deadline with
+              | None ->
+                  Condition.wait t.nonempty t.mutex;
+                  wait ()
+              | Some dl -> if Unix.gettimeofday () >= dl then `Done else `Poll
+          in
+          wait ())
+    in
+    match r with
+    | `Item v -> Some v
+    | `Done -> None
+    | `Poll ->
+        (* Condition.wait has no timeout in the stdlib: poll with a
+           short sleep while the lock is released. *)
+        Thread.delay 0.002;
+        attempt ()
   in
-  let r = wait () in
-  Mutex.unlock t.mutex;
-  r
+  attempt ()
 
-let length t =
-  Mutex.lock t.mutex;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.mutex;
-  n
+let length t = Mutex_util.with_lock t.mutex (fun () -> Queue.length t.queue)

@@ -1,0 +1,13 @@
+(** The one blessed way to hold a mutex in this tree.
+
+    Every lock site in [lib/runtime], [lib/net] and [lib/exec] must go
+    through [with_lock] (enforced by [tools/lint] rule R4): a bare
+    [Mutex.lock]/[Mutex.unlock] pair leaks the lock — and deadlocks the
+    whole run — the first time the critical section raises. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f ()] with [m] held and releases [m] on every
+    exit path, including exceptions. [Condition.wait c m] inside [f] is
+    fine: it atomically releases and reacquires the same mutex. Do not
+    call [with_lock m] again from inside [f] — stdlib mutexes are not
+    reentrant. *)

@@ -28,30 +28,33 @@ let insert pending e =
   go pending
 
 let rec loop t =
-  Mutex.lock t.mutex;
-  if t.stopped then Mutex.unlock t.mutex
-  else begin
-    match t.pending with
-    | [] ->
-        Condition.wait t.wake t.mutex;
-        Mutex.unlock t.mutex;
-        loop t
-    | e :: rest ->
-        let now = Unix.gettimeofday () in
-        if e.at <= now then begin
-          t.pending <- rest;
-          Mutex.unlock t.mutex;
-          (* Fire outside the lock: callbacks push into mailboxes and
-             must never deadlock against schedule/shutdown. *)
-          e.fire ();
-          loop t
-        end
-        else begin
-          Mutex.unlock t.mutex;
-          Thread.delay (Float.min poll_slice (e.at -. now));
-          loop t
-        end
-  end
+  let action =
+    Mutex_util.with_lock t.mutex (fun () ->
+        if t.stopped then `Stop
+        else
+          match t.pending with
+          | [] ->
+              Condition.wait t.wake t.mutex;
+              `Again
+          | e :: rest ->
+              let now = Unix.gettimeofday () in
+              if e.at <= now then begin
+                t.pending <- rest;
+                `Fire e.fire
+              end
+              else `Sleep (Float.min poll_slice (e.at -. now)))
+  in
+  match action with
+  | `Stop -> ()
+  | `Again -> loop t
+  | `Fire fire ->
+      (* Fire outside the lock: callbacks push into mailboxes and
+         must never deadlock against schedule/shutdown. *)
+      fire ();
+      loop t
+  | `Sleep d ->
+      Thread.delay d;
+      loop t
 
 let create () =
   let t =
@@ -63,26 +66,23 @@ let create () =
 
 let schedule t ~delay fire =
   let at = Unix.gettimeofday () +. delay in
-  Mutex.lock t.mutex;
-  if not t.stopped then begin
-    t.seq <- t.seq + 1;
-    t.pending <- insert t.pending { at; seq = t.seq; fire };
-    Condition.signal t.wake
-  end;
-  Mutex.unlock t.mutex
+  Mutex_util.with_lock t.mutex (fun () ->
+      if not t.stopped then begin
+        t.seq <- t.seq + 1;
+        t.pending <- insert t.pending { at; seq = t.seq; fire };
+        Condition.signal t.wake
+      end)
 
 let pending t =
-  Mutex.lock t.mutex;
-  let n = List.length t.pending in
-  Mutex.unlock t.mutex;
-  n
+  Mutex_util.with_lock t.mutex (fun () -> List.length t.pending)
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  t.stopped <- true;
-  t.pending <- [];
-  Condition.broadcast t.wake;
-  Mutex.unlock t.mutex;
+  Mutex_util.with_lock t.mutex (fun () ->
+      t.stopped <- true;
+      t.pending <- [];
+      Condition.broadcast t.wake);
+  (* Join outside the lock: the timer thread needs the mutex to observe
+     [stopped] and exit. *)
   match t.thread with
   | Some th ->
       t.thread <- None;

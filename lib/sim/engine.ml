@@ -114,6 +114,8 @@ let run t =
     | Some (time, ev) ->
         incr processed;
         if !processed > t.event_budget then
+          (* lint: allow partial: deliberate fail-fast on a livelocked
+             simulation; returning a result would hide the bug. *)
           failwith "Engine.run: event budget exceeded (livelock?)";
         t.clock <- max t.clock time;
         (match ev with

@@ -1,0 +1,5 @@
+(* Seeded R1 violation: raw Bigint arithmetic on a commitment-domain
+   value outside lib/bigint / lib/modular. Linted as if it lived under
+   lib/crypto/; never compiled. *)
+
+let double_commit c = Bigint.mul c c

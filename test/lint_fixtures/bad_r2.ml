@@ -1,0 +1,4 @@
+(* Seeded R2 violation: polymorphic (=) on a crypto-domain value.
+   Linted as if it lived under lib/crypto/; never compiled. *)
+
+let same a b = a = Pedersen.of_element b

@@ -1,0 +1,4 @@
+(* Seeded R3 violation: Stdlib.Random outside lib/bigint/prng.ml.
+   Linted as if it lived under lib/core/; never compiled. *)
+
+let noise () = Random.int 100

@@ -1,0 +1,4 @@
+(* Seeded R4 violation: bare Mutex.lock outside Mutex_util.with_lock.
+   Linted as if it lived under lib/exec/; never compiled. *)
+
+let grab m = Mutex.lock m

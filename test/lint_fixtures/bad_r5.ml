@@ -1,0 +1,7 @@
+(* Seeded R5 violation: wildcard arm in a match over Messages.t.
+   Linted as if it lived under lib/exec/; never compiled. *)
+
+let handle msg =
+  match msg with
+  | Messages.Payment_report _ -> true
+  | _ -> false

@@ -1,0 +1,4 @@
+(* Seeded R6 violation: partial stdlib call in protocol code.
+   Linted as if it lived under lib/core/; never compiled. *)
+
+let first xs = List.hd xs

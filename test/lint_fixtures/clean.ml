@@ -1,0 +1,50 @@
+(* Near-misses for every rule: none of these may be flagged even when
+   linted as protocol code (rule_path under lib/exec/). Never
+   compiled. *)
+
+(* R1 near-miss: scalar-returning Bigint calls are not field
+   arithmetic. *)
+let ordered a b = Bigint.compare a b <= 0 && Bigint.num_bits a > 0
+
+(* R2 near-misses: int (=) is fine; option tests go through Option. *)
+let enough xs n = List.length xs = n
+let missing o = Option.is_none o
+let present o = Option.is_some o
+
+(* R2 near-miss: typed equality on crypto values. *)
+let same_elt g a b = Group.equal a b && Pedersen.equal (f g a) (f g b)
+
+(* R3 near-miss: the project PRNG, not Stdlib.Random. *)
+let draw rng = Prng.in_range rng ~lo:Bigint.zero ~hi:Bigint.one
+
+(* R4 near-miss: the blessed combinator. *)
+let guarded m f = Mutex_util.with_lock m f
+
+(* R5 near-misses: every constructor enumerated; [Error _] in a decode
+   match is not wildcard-ish; wildcards over non-Messages types are
+   fine. *)
+let tagged msg =
+  match msg with
+  | Messages.Share _ | Messages.Commitments _ | Messages.Lambda_psi _
+  | Messages.F_disclosure _ | Messages.F_disclosure_hardened _
+  | Messages.Lambda_psi_excl _ | Messages.Payment_report _
+  | Messages.Batch _ ->
+      true
+
+let decoded payload =
+  match Codec.decode payload with
+  | Ok (Messages.Payment_report _) -> `Report
+  | Ok
+      ( Messages.Share _ | Messages.Commitments _ | Messages.Lambda_psi _
+      | Messages.F_disclosure _ | Messages.F_disclosure_hardened _
+      | Messages.Lambda_psi_excl _ | Messages.Batch _ ) ->
+      `Other
+  | Error _ -> `Garbage
+
+let sign x = match x with 0 -> `Zero | _ -> `Nonzero
+
+(* R6 near-misses: total alternatives, and the escape hatch. *)
+let first_or ~default = function [] -> default | x :: _ -> x
+
+(* lint: allow partial: exercising the escape hatch in a fixture. *)
+let second xs = List.hd (List.tl xs)
