@@ -228,7 +228,12 @@ let start eng t =
           | _ -> Some (Bid_commitments.share_for dealer ~alpha:(alpha_of t k))
         in
         match share with
-        | Some share -> send_msg eng t ~dst:k (Messages.Share { task = j; share })
+        | Some share ->
+            (* taint: declassify share: honest bundles come from
+               Bid_commitments.share_for; the Corrupt_share_to strategy
+               substitutes fresh uniform draws, which carry no
+               information about the bid by construction. *)
+            send_msg eng t ~dst:k (Messages.Share { task = j; share })
         | None -> ()
       end
     done;
@@ -240,6 +245,10 @@ let start eng t =
         ts.publics.(t.id) <- Some dealer.public
     | Strategy.Corrupt_commitments ->
         let fake = random_public t ~like:dealer.public in
+        (* taint: declassify pedersen: the corrupt-commitment strategy
+           publishes uniform group elements in place of the Pedersen
+           vectors — indistinguishable from honest commitments and
+           bid-independent by construction. *)
         publish eng t (Messages.Commitments { task = j; public = fake });
         ts.publics.(t.id) <- Some fake
     | _ ->
@@ -295,9 +304,16 @@ let disclose eng t j ts =
       | _ -> ());
       ts.disclosed_h.(t.id) <- Some h_row;
       publish eng t
+        (* taint: declassify disclosure: Phase III.3 — a discloser k
+           publishes the f (and, hardened, h) share rows so eq. (13)
+           and winner identification can run; Theorem 10's threshold
+           analysis covers exactly this disclosure. *)
         (Messages.F_disclosure_hardened { task = j; f_row = row; h_row })
     end
-    else publish eng t (Messages.F_disclosure { task = j; f_row = row })
+    else
+      (* taint: declassify disclosure: Phase III.3 f-row disclosure
+         (eq. 13), the paper's sanctioned share publication. *)
+      publish eng t (Messages.F_disclosure { task = j; f_row = row })
   end
 
 let current_disclosers t ts =
@@ -395,6 +411,10 @@ let rec advance eng t j =
             in
             let psi = Exponent_resolution.psi (group t) ~h_sum_at:hsum in
             ts.lambda_psi.(t.id) <- Some (lambda, psi);
+            (* taint: declassify exponent: honest pairs are
+               Exponent_resolution encodings (eq. 10); the Wrong_lambda
+               strategy substitutes a uniform group element, which is
+               bid-independent by construction. *)
             publish eng t (Messages.Lambda_psi { task = j; lambda; psi });
             ts.phase <- Resolving_first;
             ts.resolution_round <- 0;
@@ -486,6 +506,11 @@ let rec advance eng t j =
                     in
                     ts.lambda_psi2.(t.id) <- Some (lambda, psi);
                     publish eng t
+                      (* taint: declassify exponent: Phase III.4 —
+                         eq. (15) divides the winner's own share out of
+                         the eq. (10) encoding in the exponent; the
+                         quotient is the sanctioned second-price
+                         publication. *)
                       (Messages.Lambda_psi_excl { task = j; lambda; psi });
                     ts.phase <- Resolving_second;
                     ts.resolution_round <- 0;

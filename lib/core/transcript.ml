@@ -87,6 +87,10 @@ let of_direct ?(seed = 42) (params : Params.t) ~bids =
            (Group.pow params.group params.group.Group.z2 s.Share.h_at)))
       lambda_psi
   in
+  (* taint: declassify disclosure: the reference transcript records
+     exactly what the protocol publishes — the Phase III.3 f-rows and
+     the eq. (15) quotients; everything else in it is commitments and
+     exponent encodings. *)
   { publics; lambda_psi; disclosures; lambda_psi_excl }
 
 let audit (params : Params.t) t =

@@ -15,5 +15,9 @@ let equal a b =
   && Bigint.equal a.g_at b.g_at && Bigint.equal a.h_at b.h_at
 
 let pp fmt s =
+  (* taint: declassify share: the debug printer for a single bundle —
+     a share is addressed to its recipient and prints only what that
+     recipient legitimately holds; pooling printed shares is exactly
+     the coalition attack privacy.ml quantifies. *)
   Format.fprintf fmt "{e=%a; f=%a; g=%a; h=%a}" Bigint.pp s.e_at Bigint.pp
     s.f_at Bigint.pp s.g_at Bigint.pp s.h_at

@@ -1,0 +1,16 @@
+(* Seeded fixture for stale-allow detection: a live allowance that
+   suppresses a real violation (must NOT be reported), an allowance
+   whose excused code was refactored away (stale) and an allowance
+   with an unknown keyword (suppresses nothing, so also stale — and
+   the violation it sat next to still fires). *)
+
+(* lint: allow partial: documented invariant — this one is used. *)
+let live = Option.get (Some 1)
+
+(* lint: allow partial: the Option.get this excused is gone. *)
+let dead = Some 2
+
+(* lint: allow partail: typo'd keyword; suppresses nothing. *)
+let typo = Option.get (Some 3)
+
+let _ = (live, dead, typo)

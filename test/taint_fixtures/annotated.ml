@@ -1,0 +1,12 @@
+(* Annotation-scoping fixture: one sanctioned crossing, one stale
+   annotation, one unknown keyword. *)
+
+let suppressed fmt (s : Dmw_crypto.Share.t) =
+  (* taint: declassify share: fixture - a sanctioned crossing. *)
+  Format.fprintf fmt "e=%a" Dmw_bigint.Bigint.pp s.Dmw_crypto.Share.e_at
+
+(* taint: declassify pedersen: fixture - suppresses nothing. *)
+let stale () = print_string "quiet"
+
+(* taint: declassify spectre: fixture - unknown keyword. *)
+let unknown () = 0

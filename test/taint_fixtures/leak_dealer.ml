@@ -1,0 +1,4 @@
+(* Seeded leak: a dealer's secret polynomial ships in a disclosure row. *)
+let leak (d : Dmw_crypto.Bid_commitments.dealer) =
+  let coeffs = Dmw_poly.Poly.coeffs d.Dmw_crypto.Bid_commitments.e in
+  Dmw_core.Messages.F_disclosure { task = 1; f_row = coeffs }

@@ -1,0 +1,2 @@
+(* Interprocedural fixture, callee half: the draw happens here. *)
+let draw rng = Dmw_bigint.Prng.below rng (Dmw_bigint.Bigint.of_int 97)

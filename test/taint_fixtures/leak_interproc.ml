@@ -1,0 +1,5 @@
+(* Interprocedural fixture, caller half: the secret is drawn in
+   [Leak_helper]; only the cross-module summary can see this leak. *)
+let caller rng =
+  Dmw_core.Messages.F_disclosure
+    { task = 2; f_row = [| Leak_helper.draw rng |] }

@@ -1,0 +1,6 @@
+(* Seeded leak: a raw PRNG draw flows into a protocol message. *)
+open Dmw_bigint
+
+let leak rng =
+  let secret = Prng.below rng (Bigint.of_int 97) in
+  Dmw_core.Messages.F_disclosure { task = 0; f_row = [| secret |] }

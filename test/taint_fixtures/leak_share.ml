@@ -1,0 +1,3 @@
+(* Seeded leak: a share-bundle field is formatted to a log sink. *)
+let leak fmt (s : Dmw_crypto.Share.t) =
+  Format.fprintf fmt "e=%a" Dmw_bigint.Bigint.pp s.Dmw_crypto.Share.e_at

@@ -39,9 +39,13 @@ let sample_messages g =
     Messages.Lambda_psi_excl
       { task = 4; lambda = random_element g; psi = random_element g };
     Messages.Payment_report { payments = [| 0.0; 2.5; 17.0; -1.0 |] };
-    Messages.Payment_report { payments = [||] } ]
+    Messages.Payment_report { payments = [||] };
+    Messages.Batch
+      [ Messages.Share { task = 6; share = random_share g };
+        Messages.Payment_report { payments = [| 1.5 |] } ];
+    Messages.Batch [] ]
 
-let message_equal a b =
+let rec message_equal a b =
   match (a, b) with
   | Messages.Share { task = t1; share = s1 }, Messages.Share { task = t2; share = s2 }
     ->
@@ -71,6 +75,8 @@ let message_equal a b =
   | ( Messages.Payment_report { payments = a },
       Messages.Payment_report { payments = b } ) ->
       a = b
+  | Messages.Batch a, Messages.Batch b ->
+      List.length a = List.length b && List.for_all2 message_equal a b
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -133,6 +139,22 @@ let test_hostile_length_prefix_rejected () =
   match Codec.decode s with
   | Ok _ -> Alcotest.fail "hostile length accepted"
   | Error e -> Alcotest.(check string) "reason" "bigint field too large" e
+
+let test_nested_batch_rejected () =
+  let g = rng () in
+  let inner =
+    Messages.Batch [ Messages.Share { task = 0; share = random_share g } ]
+  in
+  (match Codec.encode (Messages.Batch [ inner ]) with
+  | exception Invalid_argument msg ->
+      Alcotest.(check string) "encode reason" "Codec: nested batch" msg
+  | _ -> Alcotest.fail "nested batch encoded");
+  (* Hand-built wire image of a batch whose single element is itself a
+     batch: tag 7, count 1, element length 3, then the empty batch
+     "\x07\x00\x00". *)
+  match Codec.decode "\x07\x00\x01\x00\x03\x07\x00\x00" with
+  | Ok _ -> Alcotest.fail "nested batch decoded"
+  | Error e -> Alcotest.(check string) "decode reason" "nested batch" e
 
 let test_empty_input () =
   match Codec.decode "" with
@@ -202,6 +224,7 @@ let () =
          Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage_rejected;
          Alcotest.test_case "unknown tag" `Quick test_unknown_tag_rejected;
          Alcotest.test_case "hostile length" `Quick test_hostile_length_prefix_rejected;
+         Alcotest.test_case "nested batch" `Quick test_nested_batch_rejected;
          Alcotest.test_case "empty input" `Quick test_empty_input;
          Alcotest.test_case "fuzz total" `Quick test_fuzz_decoder_total ]);
       ("integration",

@@ -266,6 +266,48 @@ let test_privacy_inverse_relation () =
   Alcotest.(check bool) "lower bids need larger coalitions" true
     (decreasing thresholds)
 
+let prop_privacy_combined_threshold =
+  (* min_coalition_combined is exact on random instances: below it
+     neither recovery succeeds on the pooled shares, at it the cheaper
+     attack opens the bid — and each side flips exactly at its own
+     threshold. *)
+  QCheck.Test.make ~count:25 ~name:"combined threshold exact on random params"
+    QCheck.(triple (int_range 4 8) (int_range 1 3) (int_range 0 9999))
+    (fun (n, c0, seed) ->
+      let c = min c0 (n - 3) in
+      let p = Params.make_exn ~group_bits:64 ~seed ~n ~m:1 ~c () in
+      let levels = Params.bid_levels p in
+      let bid = List.nth levels (seed mod List.length levels) in
+      let rng = Prng.create ~seed:(seed lxor 0x5A) in
+      let dealer =
+        Dmw_crypto.Bid_commitments.generate rng ~group:p.Params.group
+          ~sigma:p.Params.sigma ~tau:(Params.tau_of_bid p bid)
+      in
+      let shares k =
+        let points = Array.sub p.Params.alphas 0 k in
+        let bundle =
+          Array.map
+            (fun alpha -> Dmw_crypto.Bid_commitments.share_for dealer ~alpha)
+            points
+        in
+        (points, bundle)
+      in
+      let t = Privacy.min_coalition_combined p ~bid in
+      List.for_all
+        (fun k ->
+          let points, bundle = shares k in
+          let e_values = Array.map (fun s -> s.Dmw_crypto.Share.e_at) bundle in
+          let f_values = Array.map (fun s -> s.Dmw_crypto.Share.f_at) bundle in
+          let got_e = Privacy.recover_bid p ~points ~e_values in
+          let got_f = Privacy.recover_bid_f p ~points ~f_values in
+          (* Each attack flips exactly at its own threshold... *)
+          got_e = (if k >= Privacy.min_coalition p ~bid then Some bid else None)
+          && got_f = (if k >= Privacy.min_coalition_f ~bid then Some bid else None)
+          (* ...so below the combined threshold nothing opens, at it
+             something does. *)
+          && (k >= t) = (got_e <> None || got_f <> None))
+        (List.init t (fun i -> i + 1)))
+
 (* ------------------------------------------------------------------ *)
 (* Multiunit: (M+1)st-price generalization                             *)
 
@@ -445,6 +487,7 @@ let () =
          Alcotest.test_case "combined threshold vs Theorem 10" `Quick
            test_privacy_combined_threshold_breaks_theorem10_shape;
          Alcotest.test_case "inverse relation" `Quick test_privacy_inverse_relation ]);
+      qsuite "privacy properties" [ prop_privacy_combined_threshold ];
       ("multiunit",
        [ Alcotest.test_case "reference" `Quick test_multiunit_reference;
          Alcotest.test_case "matches reference" `Quick test_multiunit_matches_reference;

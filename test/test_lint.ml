@@ -67,6 +67,32 @@ let test_output_modes () =
     (contains ~affix:"\"rule\":\"R6\"" json);
   Alcotest.(check string) "empty json" "[]\n" (Lint.to_json [])
 
+let test_stale_allow () =
+  (* Three allowances: the first suppresses a real R6 (not reported),
+     the second excuses nothing (stale), the third has an unknown
+     keyword — it fails to suppress the R6 on the next line AND is
+     itself stale. *)
+  let vs =
+    Lint.lint_file ~rule_path:"lib/core/stale_allow.ml"
+      (fixture "stale_allow.ml")
+  in
+  Alcotest.(check (list string))
+    (Printf.sprintf "stale_allow.ml -> %s" (pp_violations vs))
+    [ "R6"; "stale-allow"; "stale-allow" ]
+    (List.sort String.compare (List.map (fun v -> v.Lint.rule) vs));
+  let stale_lines =
+    List.filter_map
+      (fun v -> if v.Lint.rule = "stale-allow" then Some v.Lint.line else None)
+      vs
+  in
+  (* The live allowance closes before line 9; both reported ones sit
+     past it. *)
+  Alcotest.(check bool) "live allowance not reported" true
+    (List.for_all (fun l -> l > 9) stale_lines);
+  let json = Lint.to_json vs in
+  Alcotest.(check bool) "json carries stale-allow" true
+    (contains ~affix:"\"rule\":\"stale-allow\"" json)
+
 let test_parse_error () =
   (* A file that does not parse yields a single "parse" violation
      rather than an exception. *)
@@ -87,7 +113,9 @@ let () =
           Alcotest.test_case "clean fixture: zero false positives" `Quick
             test_clean ] );
       ( "reporting",
-        [ Alcotest.test_case "positions" `Quick test_positions;
+        [ Alcotest.test_case "stale allowances are reported" `Quick
+            test_stale_allow;
+          Alcotest.test_case "positions" `Quick test_positions;
           Alcotest.test_case "human and json output" `Quick test_output_modes;
           Alcotest.test_case "parse errors are violations" `Quick
             test_parse_error ] ) ]

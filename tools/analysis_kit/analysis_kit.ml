@@ -1,0 +1,173 @@
+(* Shared machinery for dmw_lint and dmw_taint: reporting, the
+   escape-hatch scanner with stale tracking, file walking and the CLI
+   driver. See analysis_kit.mli. *)
+
+module Report = struct
+  type violation = {
+    file : string;
+    line : int;
+    col : int;
+    rule : string;
+    message : string;
+  }
+
+  let by_position a b =
+    match compare a.file b.file with
+    | 0 -> (
+        match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+    | c -> c
+
+  let human violations =
+    String.concat ""
+      (List.map
+         (fun v ->
+           Printf.sprintf "%s:%d:%d: [%s] %s\n" v.file v.line v.col v.rule
+             v.message)
+         violations)
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let to_json violations =
+    let obj v =
+      Printf.sprintf
+        "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+        (json_escape v.file) v.line v.col (json_escape v.rule)
+        (json_escape v.message)
+    in
+    "[" ^ String.concat ",\n " (List.map obj violations) ^ "]\n"
+end
+
+module Fs = struct
+  let normalize path =
+    let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+    if String.length path >= 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+
+  let has_prefix prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+
+  let find_substring ?(start = 0) haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then None
+      else if String.sub haystack i nn = needle then Some i
+      else go (i + 1)
+    in
+    go start
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+
+  let rec collect ~ext path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.concat_map (fun entry ->
+             collect ~ext (Filename.concat path entry))
+    else if Filename.check_suffix path ext then [ path ]
+    else []
+end
+
+module Allow = struct
+  type t = { line : int; keyword : string; mutable used : bool }
+
+  let keyword_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '-'
+
+  (* The allowance is anchored to the line where the comment closes
+     (and covers the line below it), so a multi-line justification
+     still attaches to the code it precedes. *)
+  let scan ~marker src =
+    let line_of pos =
+      let n = ref 1 in
+      for i = 0 to pos - 1 do
+        if src.[i] = '\n' then incr n
+      done;
+      !n
+    in
+    let allows = ref [] in
+    let rec go pos =
+      match Fs.find_substring ~start:pos src marker with
+      | None -> ()
+      | Some j ->
+          let start = j + String.length marker in
+          let stop = ref start in
+          while !stop < String.length src && keyword_char src.[!stop] do
+            incr stop
+          done;
+          let keyword = String.sub src start (!stop - start) in
+          let anchor =
+            match Fs.find_substring ~start:!stop src "*)" with
+            | Some close -> close
+            | None -> j
+          in
+          allows := { line = line_of anchor; keyword; used = false } :: !allows;
+          go !stop
+    in
+    go 0;
+    List.rev !allows
+
+  let claim allows ~keyword_ok ~line =
+    let hit = ref false in
+    List.iter
+      (fun a ->
+        if keyword_ok a.keyword && (a.line = line || a.line = line - 1) then begin
+          a.used <- true;
+          hit := true
+        end)
+      allows;
+    !hit
+
+  let stale allows = List.filter (fun a -> not a.used) allows
+end
+
+module Cli = struct
+  let main ~tool ~ext ~default_roots ~analyze () =
+    let json = ref false in
+    let paths = ref [] in
+    let usage =
+      Printf.sprintf "%s [--json] [path ...]\nDefault paths: %s" tool
+        (String.concat " " default_roots)
+    in
+    Arg.parse
+      [ ("--json", Arg.Set json, " machine-readable JSON output") ]
+      (fun p -> paths := p :: !paths)
+      usage;
+    let roots =
+      match List.rev !paths with
+      | [] -> List.filter Sys.file_exists default_roots
+      | roots -> roots
+    in
+    let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+    List.iter (Printf.eprintf "%s: no such path: %s\n" tool) missing;
+    if missing <> [] then exit 2;
+    let files = List.concat_map (Fs.collect ~ext) roots in
+    let violations = analyze files in
+    if !json then print_string (Report.to_json violations)
+    else begin
+      print_string (Report.human violations);
+      Printf.eprintf "%s: %d file(s), %d violation(s)\n" tool
+        (List.length files) (List.length violations)
+    end;
+    exit (if violations = [] then 0 else 1)
+end

@@ -1,0 +1,90 @@
+(** Shared machinery for the project's static-analysis passes.
+
+    [dmw_lint] (Parsetree, tools/lint) and [dmw_taint] (Typedtree,
+    tools/taint) share everything that is not the analysis itself:
+    violation records and their human/JSON rendering, the
+    comment-based escape hatch with stale detection, file-system
+    walking and the CLI driver shape. Keeping these here means the
+    two passes cannot drift apart in output schema or suppression
+    semantics. *)
+
+module Report : sig
+  type violation = {
+    file : string;  (** path as scanned *)
+    line : int;  (** 1-based *)
+    col : int;  (** 0-based *)
+    rule : string;  (** rule identifier, e.g. ["R1"] or ["T-msg"] *)
+    message : string;
+  }
+
+  val by_position : violation -> violation -> int
+  (** Order by [file], then [line], then [col]. *)
+
+  val human : violation list -> string
+  (** One [file:line:col: [rule] message] line per violation. *)
+
+  val to_json : violation list -> string
+  (** JSON array of [{file, line, col, rule, message}] objects — the
+      schema shared by every pass (see README "Static analysis"). *)
+
+  val json_escape : string -> string
+end
+
+module Allow : sig
+  (** The escape-hatch comment scanner. A pass declares its marker
+      (["lint: allow "] or ["taint: declassify "]); an occurrence
+      inside a comment binds a keyword and anchors at the line where
+      the comment {e closes}, covering that line and the one below.
+      Each allowance records whether it suppressed anything so that a
+      stale escape hatch is itself a finding. *)
+
+  type t = {
+    line : int;  (** anchor: the line where the comment closes *)
+    keyword : string;  (** raw keyword as written, unvalidated *)
+    mutable used : bool;
+  }
+
+  val scan : marker:string -> string -> t list
+  (** All occurrences of [marker<keyword>] in the source text, in
+      file order. Keywords are [[a-zA-Z0-9-]+]. *)
+
+  val claim : t list -> keyword_ok:(string -> bool) -> line:int -> bool
+  (** Does some allowance whose keyword satisfies [keyword_ok] cover
+      [line] (anchor on the line itself or the line above)? Every
+      covering allowance is marked {!used}. *)
+
+  val stale : t list -> t list
+  (** Allowances that never suppressed anything, in file order. *)
+end
+
+module Fs : sig
+  val collect : ext:string -> string -> string list
+  (** Files under a root (file or directory, recursive, sorted) whose
+      name ends in [ext]. *)
+
+  val read_file : string -> string
+  (** Raises [Sys_error]. *)
+
+  val normalize : string -> string
+  (** Backslashes to slashes, strip a leading ["./"]. *)
+
+  val has_prefix : string -> string -> bool
+
+  val find_substring : ?start:int -> string -> string -> int option
+end
+
+module Cli : sig
+  val main :
+    tool:string ->
+    ext:string ->
+    default_roots:string list ->
+    analyze:(string list -> Report.violation list) ->
+    unit ->
+    'a
+  (** Shared driver: parse [--json] and root paths (default
+      [default_roots], filtered for existence), exit 2 on a missing
+      explicit path, collect files by [ext], run [analyze] on them,
+      print human output (with a [tool: N file(s), M violation(s)]
+      summary on stderr) or the JSON report, and exit 1 iff there are
+      violations. *)
+end

@@ -1,36 +1,8 @@
 (* CLI driver: scan the given files/directories (default: the four
    project source roots) and report violations; exit 1 if any. *)
 
-let rec collect path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort String.compare
-    |> List.concat_map (fun entry -> collect (Filename.concat path entry))
-  else if Filename.check_suffix path ".ml" then [ path ]
-  else []
-
 let () =
-  let json = ref false in
-  let paths = ref [] in
-  let usage = "dmw_lint [--json] [path ...]\nDefault paths: lib bin bench examples" in
-  Arg.parse
-    [ ("--json", Arg.Set json, " machine-readable JSON output") ]
-    (fun p -> paths := p :: !paths)
-    usage;
-  let roots =
-    match List.rev !paths with
-    | [] ->
-        List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples" ]
-    | roots -> roots
-  in
-  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
-  List.iter (Printf.eprintf "dmw_lint: no such path: %s\n") missing;
-  if missing <> [] then exit 2;
-  let files = List.concat_map collect roots in
-  let violations = List.concat_map (fun f -> Lint.lint_file f) files in
-  if !json then print_string (Lint.to_json violations)
-  else begin
-    print_string (Lint.human violations);
-    Printf.eprintf "dmw_lint: %d file(s), %d violation(s)\n" (List.length files)
-      (List.length violations)
-  end;
-  exit (if violations = [] then 0 else 1)
+  Analysis_kit.Cli.main ~tool:"dmw_lint" ~ext:".ml"
+    ~default_roots:[ "lib"; "bin"; "bench"; "examples" ]
+    ~analyze:(List.concat_map (fun f -> Lint.lint_file f))
+    ()

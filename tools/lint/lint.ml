@@ -2,11 +2,15 @@
    here is a conservative approximation decidable without type
    inference, tuned so the current tree is clean and the mistakes the
    rules target cannot re-enter silently. See lint.mli for the rule
-   rationale. *)
+   rationale. Reporting, escape-hatch parsing and file walking are
+   shared with dmw_taint through Analysis_kit. *)
 
 open Parsetree
+module Report = Analysis_kit.Report
+module Allow = Analysis_kit.Allow
+module Fs = Analysis_kit.Fs
 
-type violation = {
+type violation = Report.violation = {
   file : string;
   line : int;
   col : int;
@@ -15,18 +19,10 @@ type violation = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Paths and rule scoping                                              *)
+(* Rule scoping                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let normalize path =
-  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
-  if String.length path >= 2 && String.sub path 0 2 = "./" then
-    String.sub path 2 (String.length path - 2)
-  else path
-
-let has_prefix prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
+let has_prefix = Fs.has_prefix
 
 type active = { r1 : bool; r2 : bool; r3 : bool; r4 : bool; r5 : bool; r6 : bool }
 
@@ -60,57 +56,6 @@ let rule_of_keyword = function
   | "wildcard" | "R5" | "r5" -> Some "R5"
   | "partial" | "R6" | "r6" -> Some "R6"
   | _ -> None
-
-let find_substring ?(start = 0) haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i =
-    if i + nn > nh then None
-    else if String.sub haystack i nn = needle then Some i
-    else go (i + 1)
-  in
-  go start
-
-(* [(line, rule)] for every allow-comment. The allowance is anchored
-   to the line where the comment {e closes} (and covers the line below
-   it), so a multi-line justification still attaches to the code it
-   precedes. *)
-let allows_of_source src =
-  let marker = "lint: allow " in
-  let keyword_char c =
-    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
-    || c = '-'
-  in
-  let line_of pos =
-    let n = ref 1 in
-    for i = 0 to pos - 1 do
-      if src.[i] = '\n' then incr n
-    done;
-    !n
-  in
-  let allows = ref [] in
-  let rec scan pos =
-    match find_substring ~start:pos src marker with
-    | None -> ()
-    | Some j ->
-        let start = j + String.length marker in
-        let stop = ref start in
-        while !stop < String.length src && keyword_char src.[!stop] do
-          incr stop
-        done;
-        let kw = String.sub src start (!stop - start) in
-        (match rule_of_keyword kw with
-        | Some rule ->
-            let anchor =
-              match find_substring ~start:!stop src "*)" with
-              | Some close -> close
-              | None -> j
-            in
-            allows := (line_of anchor, rule) :: !allows
-        | None -> ());
-        scan !stop
-  in
-  scan 0;
-  !allows
 
 (* ------------------------------------------------------------------ *)
 (* Longident helpers                                                   *)
@@ -219,7 +164,8 @@ let check_structure ~file ~rules ~allows structure =
     let line = p.Lexing.pos_lnum in
     let col = p.Lexing.pos_cnum - p.Lexing.pos_bol in
     let allowed =
-      List.exists (fun (l, r) -> r = rule && (l = line || l = line - 1)) allows
+      Allow.claim allows ~line
+        ~keyword_ok:(fun kw -> rule_of_keyword kw = Some rule)
     in
     if not allowed then out := { file; line; col; rule; message } :: !out
   in
@@ -338,29 +284,35 @@ let check_structure ~file ~rules ~allows structure =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-  really_input_string ic (in_channel_length ic)
-
-let by_position a b =
-  match compare a.file b.file with
-  | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
-  | c -> c
+let stale_violations ~file allows =
+  List.map
+    (fun (a : Allow.t) ->
+      { file;
+        line = a.line;
+        col = 0;
+        rule = "stale-allow";
+        message =
+          Printf.sprintf
+            "(* lint: allow %s *) suppresses nothing here: the code it \
+             excused is gone (or the keyword is unknown) — delete the \
+             comment or fix the keyword"
+            a.keyword })
+    (Allow.stale allows)
 
 let lint_file ?rule_path file =
-  let rule_path = normalize (Option.value rule_path ~default:file) in
+  let rule_path = Fs.normalize (Option.value rule_path ~default:file) in
   let rules = active_for rule_path in
-  match read_file file with
+  match Fs.read_file file with
   | exception Sys_error msg ->
       [ { file; line = 1; col = 0; rule = "parse"; message = msg } ]
   | source -> (
-      let allows = allows_of_source source in
+      let allows = Allow.scan ~marker:"lint: allow " source in
       let lexbuf = Lexing.from_string source in
       Lexing.set_filename lexbuf file;
       match Parse.implementation lexbuf with
       | structure ->
-          List.sort by_position (check_structure ~file ~rules ~allows structure)
+          let vs = check_structure ~file ~rules ~allows structure in
+          List.sort Report.by_position (vs @ stale_violations ~file allows)
       | exception exn ->
           let line, col, msg =
             match Location.error_of_exn exn with
@@ -374,34 +326,5 @@ let lint_file ?rule_path file =
           in
           [ { file; line; col; rule = "parse"; message = msg } ])
 
-let human violations =
-  String.concat ""
-    (List.map
-       (fun v ->
-         Printf.sprintf "%s:%d:%d: [%s] %s\n" v.file v.line v.col v.rule
-           v.message)
-       violations)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let to_json violations =
-  let obj v =
-    Printf.sprintf
-      "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
-      (json_escape v.file) v.line v.col (json_escape v.rule)
-      (json_escape v.message)
-  in
-  "[" ^ String.concat ",\n " (List.map obj violations) ^ "]\n"
+let human = Report.human
+let to_json = Report.to_json

@@ -34,13 +34,19 @@
     the justification may span several lines; the allowance anchors
     where the comment closes. [<kw>] is one of [bigint-arith],
     [poly-eq], [random], [mutex], [wildcard], [partial] (or a literal
-    rule id [R1]..[R6]). *)
+    rule id [R1]..[R6]).
 
-type violation = {
+    An escape hatch that suppresses nothing — the code it excused was
+    deleted, or the keyword is unknown — is itself reported as
+    [stale-allow], so allowances cannot rot in place. *)
+
+type violation = Analysis_kit.Report.violation = {
   file : string;  (** path as scanned *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based *)
-  rule : string;  (** ["R1"].. ["R6"], or ["parse"] on a syntax error *)
+  rule : string;
+      (** ["R1"].. ["R6"], ["stale-allow"] for a dead escape hatch, or
+          ["parse"] on a syntax error *)
   message : string;
 }
 
