@@ -34,8 +34,8 @@ let bits_arg =
   Arg.(value & opt int 64 & info [ "group-bits" ] ~docv:"BITS"
          ~doc:"Schnorr group size: one of 16, 32, 64, 96, 128, 256, 512.")
 
-let make_params ~group_bits ~seed ~n ~m ~c =
-  match Params.make ~group_bits ~seed ~n ~m ~c () with
+let make_params ?w_max ~group_bits ~seed ~n ~m ~c () =
+  match Params.make ?w_max ~group_bits ~seed ~n ~m ~c () with
   | Ok p -> p
   | Error msg ->
       Printf.eprintf "invalid parameters: %s\n" msg;
@@ -117,10 +117,41 @@ let run_cmd =
          & info [ "hardened" ]
              ~doc:"Per-entry-verified disclosures (closes the eq. 13 sum gap).")
   in
+  let faults_conv =
+    let parse s =
+      match Dmw_sim.Fault.of_string s with
+      | Ok f -> Ok f
+      | Error e -> Error (`Msg (Printf.sprintf "invalid fault spec %S: %s" s e))
+    in
+    Arg.conv (parse, Dmw_sim.Fault.pp)
+  in
+  let faults =
+    Arg.(value & opt (some faults_conv) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Inject an adverse environment: a comma-separated list of \
+                   drop=P, delay=P:SECONDS, dup=P, link=SRC-DST, \
+                   tag=NODE:TAG, silence=NODE\\@PHASE, crash=NODE\\@TIME \
+                   terms. Arms per-agent crash detection, so the run ends \
+                   in a clean audited abort instead of hanging.")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"K"
+             ~doc:"Re-auction among the survivors up to K times after an \
+                   environmental abort names silent peers.")
+  in
+  let w_max =
+    Arg.(value & opt (some int) None
+         & info [ "w-max" ] ~docv:"W"
+             ~doc:"Largest bid level (default n - c - 1, the maximum). A \
+                   smaller range buys crash headroom: resolutions need only \
+                   sigma = W + c + 1 shares, so re-auctioning can shed \
+                   silent agents and still complete.")
+  in
   let run n m c seed group_bits workload deviant strategy quiet batching verbose
-      backend timeout hardened =
+      backend timeout hardened faults retries w_max =
     setup_logs verbose;
-    let params = make_params ~group_bits ~seed ~n ~m ~c in
+    let params = make_params ?w_max ~group_bits ~seed ~n ~m ~c () in
     let rng = Prng.create ~seed in
     let instance = generate_instance workload rng ~n ~m in
     let bids =
@@ -148,7 +179,8 @@ let run_cmd =
       | `Socket -> Dmw_exec.socket ~timeout ()
     in
     let result =
-      Dmw_exec.run ~strategies ~seed ~batching ~hardened ~backend params ~bids
+      Dmw_exec.run ~strategies ~seed ~batching ~hardened ?faults ~retries
+        ~backend params ~bids
     in
     Format.printf "@.%a@." Dmw_exec.pp_summary result;
     let rank = Params.pseudonym_rank params in
@@ -169,7 +201,7 @@ let run_cmd =
   let term =
     Term.(const run $ n_arg $ m_arg $ c_arg $ seed_arg $ bits_arg $ workload
           $ deviant $ strategy $ quiet $ batching $ verbose $ backend $ timeout
-          $ hardened)
+          $ hardened $ faults $ retries $ w_max)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the distributed mechanism on a generated instance.")
@@ -187,7 +219,7 @@ let sweep_cmd =
       "exps/agent";
     let n = ref 4 in
     while !n <= max_n do
-      let params = make_params ~group_bits ~seed ~n:!n ~m ~c in
+      let params = make_params ~group_bits ~seed ~n:!n ~m ~c () in
       let rng = Prng.create ~seed in
       let bids =
         Dmw_workload.Workload.random_levels rng ~n:!n ~m ~w_max:params.Params.w_max
@@ -215,7 +247,7 @@ let attack_cmd =
     Arg.(value & opt int 2 & info [ "bid" ] ~docv:"Y" ~doc:"The victim's bid level.")
   in
   let attack n m c seed group_bits bid =
-    let params = make_params ~group_bits ~seed ~n ~m ~c in
+    let params = make_params ~group_bits ~seed ~n ~m ~c () in
     if not (Params.valid_bid params bid) then begin
       Printf.eprintf "bid %d outside W = 1..%d\n" bid params.Params.w_max;
       exit 2
@@ -248,7 +280,7 @@ let trace_cmd =
     Arg.(value & opt int 100 & info [ "limit" ] ~docv:"K" ~doc:"Maximum events to print.")
   in
   let trace n c seed group_bits limit =
-    let params = make_params ~group_bits ~seed ~n ~m:1 ~c in
+    let params = make_params ~group_bits ~seed ~n ~m:1 ~c () in
     let rng = Prng.create ~seed in
     let bids =
       Dmw_workload.Workload.random_levels rng ~n ~m:1 ~w_max:params.Params.w_max
@@ -268,7 +300,7 @@ let trace_cmd =
 
 let compare_cmd =
   let compare n m c seed group_bits =
-    let params = make_params ~group_bits ~seed ~n ~m ~c in
+    let params = make_params ~group_bits ~seed ~n ~m ~c () in
     let rng = Prng.create ~seed in
     let bids =
       Dmw_workload.Workload.random_levels rng ~n ~m ~w_max:params.Params.w_max
@@ -316,7 +348,7 @@ let audit_cmd =
              ~doc:"Forge agent AGENT's published Lambda before auditing.")
   in
   let audit n c seed group_bits forge =
-    let params = make_params ~group_bits ~seed ~n ~m:1 ~c in
+    let params = make_params ~group_bits ~seed ~n ~m:1 ~c () in
     let rng = Prng.create ~seed in
     let bids =
       Array.init n (fun _ -> 1 + Prng.int rng params.Params.w_max)
@@ -362,7 +394,7 @@ let multiunit_cmd =
     Arg.(value & opt int 2 & info [ "units" ] ~docv:"M" ~doc:"Number of identical units/replicas.")
   in
   let multiunit n c seed group_bits units =
-    let params = make_params ~group_bits ~seed ~n ~m:1 ~c in
+    let params = make_params ~group_bits ~seed ~n ~m:1 ~c () in
     let rng = Prng.create ~seed in
     let bids = Array.init n (fun _ -> 1 + Prng.int rng params.Params.w_max) in
     Printf.printf "bids: %s\n"

@@ -76,4 +76,41 @@ let () =
   Format.printf
     "wins (test/test_resilience.ml exercises that case), which is exactly@.";
   Format.printf
-    "the mechanism's contract: bids bind from the moment they are dealt.@."
+    "the mechanism's contract: bids bind from the moment they are dealt.@.";
+
+  Format.printf "@.=== beyond headroom: re-auction among the survivors ===@.";
+  Format.printf
+    "A machine that dies BEFORE dealing its shares leaves nothing to@.";
+  Format.printf
+    "interpolate through — headroom cannot save that run. With@.";
+  Format.printf
+    "[--retries], the watchdogs name the silent peer, the survivors@.";
+  Format.printf
+    "expel it by majority vote and rerun the auction among themselves@.";
+  Format.printf "(fresh polynomials, fault spec remapped to the new indices):@.@.";
+  let dark_node = 6 in
+  let faults =
+    Dmw_sim.Fault.silence_from ~node:dark_node
+      ~phase:Dmw_sim.Fault.phase_bidding
+  in
+  let r = Dmw_exec.run ~seed:9 roomy ~bids ~keep_events:false ~faults ~retries:1 in
+  Format.printf "node %d silent from the start, retries = 1  ->  %s@."
+    dark_node
+    (if Dmw_exec.completed r then "completed" else "failed");
+  Format.printf "attempts: %d   excluded: %s@." r.Dmw_exec.attempts
+    (String.concat ","
+       (List.map
+          (fun i -> "A" ^ string_of_int (i + 1))
+          (Array.to_list r.Dmw_exec.excluded)));
+  (match r.Dmw_exec.schedule with
+  | Some s -> Format.printf "@.%a@." Dmw_mechanism.Schedule.pp s
+  | None -> ());
+  Format.printf
+    "@.Unlike the headroom rows above, the expelled machine's bid is GONE:@.";
+  Format.printf
+    "it never dealt shares, so the re-auction prices the market without@.";
+  Format.printf
+    "it. The two degradation modes compose — headroom absorbs machines@.";
+  Format.printf
+    "that die after bidding, re-auctioning handles ones that never show@.";
+  Format.printf "up, and either way no agent hangs and no price is wrong.@."

@@ -28,6 +28,12 @@ type task_state = {
   publics : Bid_commitments.public option array;
   lambda_psi : (Group.elt * Group.elt) option array;
   disclosures : Bigint.t array option array;
+  pending_disclosures : Bigint.t array option array;
+      (* Bare f rows that arrived before their sender's (Λ, Ψ) pair —
+         possible under delay faults, where a disclosure overtakes the
+         delayed publication on one link. Promoted to [disclosures]
+         when the pair lands, so the final state is a function of the
+         delivered message set, not of arrival order. *)
   disclosed_h : Bigint.t array option array;
       (* Companion h-share rows when hardened disclosure is on. *)
   lambda_psi2 : (Group.elt * Group.elt) option array;
@@ -61,6 +67,11 @@ type t = {
   mutable aborted : Audit.reason option;
   mutable crashed : bool;
   mutable payments_sent : float array option;
+  watchdog : float option;
+      (* Idle-check period; None disables crash detection, keeping the
+         legacy run-to-quiescence Stalled semantics. *)
+  mutable watch_sig : int;
+  mutable watch_idle : int;
 }
 
 let disclosure_timeout = 0.05 (* virtual seconds; link latencies are ~1-2 ms *)
@@ -78,8 +89,17 @@ let min_resolution_points params =
   | [] -> max_int
   | d :: _ -> d + 1
 
-let create ?(batching = false) ?(hardened = false) ~params ~id ~bids ~strategy
-    ~rng () =
+(* An agent aborts once its protocol state has been idle for this many
+   consecutive watchdog periods. The period must comfortably exceed the
+   internal resolution/disclosure timeouts so the built-in recovery
+   rounds (partial resolution, Theorem 8 fallback) exhaust first. *)
+let watch_threshold = 4
+
+let create ?(batching = false) ?(hardened = false) ?watchdog ~params ~id ~bids
+    ~strategy ~rng () =
+  (match watchdog with
+  | Some p when p <= 0.0 -> invalid_arg "Agent.create: watchdog period <= 0"
+  | Some _ | None -> ());
   let n = params.Params.n in
   if Array.length bids <> params.Params.m then
     invalid_arg "Agent.create: bid vector length <> m";
@@ -95,6 +115,7 @@ let create ?(batching = false) ?(hardened = false) ~params ~id ~bids ~strategy
       publics = Array.make n None;
       lambda_psi = Array.make n None;
       disclosures = Array.make n None;
+      pending_disclosures = Array.make n None;
       disclosed_h = Array.make n None;
       lambda_psi2 = Array.make n None;
       agg = None;
@@ -118,7 +139,10 @@ let create ?(batching = false) ?(hardened = false) ~params ~id ~bids ~strategy
     outbox = Array.make (n + 1) [];
     aborted = None;
     crashed = false;
-    payments_sent = None }
+    payments_sent = None;
+    watchdog;
+    watch_sig = 0;
+    watch_idle = 0 }
 
 let id t = t.id
 let strategy t = t.strategy
@@ -208,7 +232,7 @@ let random_public t ~like =
 (* ------------------------------------------------------------------ *)
 (* Phase II: Bidding.                                                  *)
 
-let start eng t =
+let start_bidding eng t =
   for j = 0 to t.params.Params.m - 1 do
     let ts = t.tasks.(j) in
     let tau = Params.tau_of_bid t.params t.bids.(j) in
@@ -684,22 +708,12 @@ and schedule_disclosure_check eng t j ts =
             end
       end)
 
-let task_of_payload = function
-  | Messages.Share { task; _ }
-  | Messages.Commitments { task; _ }
-  | Messages.Lambda_psi { task; _ }
-  | Messages.F_disclosure { task; _ }
-  | Messages.F_disclosure_hardened { task; _ }
-  | Messages.Lambda_psi_excl { task; _ } ->
-      Some task
-  | Messages.Payment_report _ | Messages.Batch _ -> None
-
 let rec handle_payload eng t ~src payload =
   (* A hostile or corrupted message must never crash an honest agent:
      out-of-range task ids and senders are dropped silently. *)
   let well_formed =
     (src >= 0 && src < n_of t)
-    && (match task_of_payload payload with
+    && (match Messages.task payload with
        | Some task -> task >= 0 && task < t.params.Params.m
        | None -> true)
   in
@@ -733,24 +747,33 @@ let rec handle_payload eng t ~src payload =
         let ts = t.tasks.(task) in
         if Option.is_none ts.lambda_psi.(src) then begin
           ts.lambda_psi.(src) <- Some (lambda, psi);
+          (match ts.pending_disclosures.(src) with
+          | Some f_row when Option.is_none ts.disclosures.(src) ->
+              ts.disclosures.(src) <- Some f_row;
+              ts.pending_disclosures.(src) <- None
+          | Some _ | None -> ts.pending_disclosures.(src) <- None);
           advance eng t task
         end
     | Messages.F_disclosure { task; f_row } ->
         let ts = t.tasks.(task) in
         (* In hardened mode a bare row is treated as withheld: it
            cannot be entry-verified, and the fallback covers it. The
-           sender's (Λ, Ψ) pair must be on file — eq. (13) needs its Ψ,
-           and a legitimate discloser always published it first — so a
-           row without one (possible under partial resolution plus
-           selective message loss) is likewise treated as withheld. *)
+           sender's (Λ, Ψ) pair must be on file before the row counts —
+           eq. (13) needs its Ψ, and a legitimate discloser always
+           publishes it first; but under delay faults the row can
+           overtake the delayed pair on this link, so an early row is
+           parked in [pending_disclosures] and promoted when the pair
+           lands rather than discarded. *)
         if (not t.hardened)
            && Array.length f_row = n_of t
            && Option.is_none ts.disclosures.(src)
-           && Option.is_some ts.lambda_psi.(src)
-        then begin
-          ts.disclosures.(src) <- Some f_row;
-          advance eng t task
-        end
+        then
+          if Option.is_some ts.lambda_psi.(src) then begin
+            ts.disclosures.(src) <- Some f_row;
+            advance eng t task
+          end
+          else if Option.is_none ts.pending_disclosures.(src) then
+            ts.pending_disclosures.(src) <- Some f_row
     | Messages.F_disclosure_hardened { task; f_row; h_row } ->
         let ts = t.tasks.(task) in
         if t.hardened
@@ -781,6 +804,132 @@ let phase_name = function
   | Identifying -> "winner identification"
   | Resolving_second -> "second-price resolution"
   | Done_ -> "done"
+
+(* ------------------------------------------------------------------ *)
+(* Crash detection (the fault watchdog).                               *)
+
+let phase_index = function
+  | Bidding -> 0
+  | Resolving_first -> 1
+  | Identifying -> 2
+  | Resolving_second -> 3
+  | Done_ -> 4
+
+(* A fingerprint of everything that can change while the protocol makes
+   progress. Two consecutive equal fingerprints mean no message arrived
+   and no recovery round fired in between. *)
+let progress_signature t =
+  let h = ref 1 in
+  let mixi v = h := (!h * 131) + v + 1 in
+  Array.iter
+    (fun ts ->
+      mixi (phase_index ts.phase);
+      mixi (count_some ts.shares);
+      mixi (count_some ts.publics);
+      mixi (count_some ts.lambda_psi);
+      mixi (count_some ts.disclosures);
+      mixi (count_some ts.pending_disclosures);
+      mixi (count_some ts.lambda_psi2);
+      mixi ts.fallback_round;
+      mixi ts.resolution_round;
+      mixi (if Option.is_some ts.outcome then 1 else 0))
+    t.tasks;
+  mixi (if Option.is_some t.payments_sent then 1 else 0);
+  !h
+
+let protocol_finished t =
+  Array.for_all (fun ts -> ts.phase = Done_) t.tasks
+  && Option.is_some t.payments_sent
+
+(* What to blame when progress is stuck for good. The verdict is a
+   function of the (confluent) final state, i.e. of the set of messages
+   the environment delivered — not of backend timing — so all correct
+   agents of a run reach the same one, on every backend. *)
+let diagnose_silence t =
+  match
+    Array.to_list t.tasks |> List.find_opt (fun ts -> ts.phase <> Done_)
+  with
+  | None -> None
+  | Some ts ->
+      let first_missing arr =
+        let rec go k =
+          if k >= n_of t then None
+          else if k <> t.id && Option.is_none arr.(k) then Some k
+          else go (k + 1)
+        in
+        go 0
+      in
+      let blame arr =
+        match first_missing arr with
+        | Some k -> Audit.Peer_silent { agent = k }
+        | None -> Audit.Deadline_exceeded { phase = phase_name ts.phase }
+      in
+      Some
+        (match ts.phase with
+        | Bidding -> (
+            match first_missing ts.shares with
+            | Some k -> Audit.Peer_silent { agent = k }
+            | None -> blame ts.publics)
+        | Resolving_first -> blame ts.lambda_psi
+        | Identifying -> (
+            (* Blame the first selected discloser whose row never came;
+               with all of them in hand the stall is unexplainable by
+               silence alone. *)
+            match
+              List.find_opt
+                (fun k -> k <> t.id && Option.is_none ts.disclosures.(k))
+                (current_disclosers t ts)
+            with
+            | Some k -> Audit.Peer_silent { agent = k }
+            | None -> Audit.Deadline_exceeded { phase = phase_name ts.phase })
+        | Resolving_second -> blame ts.lambda_psi2
+        | Done_ -> Audit.Deadline_exceeded { phase = phase_name ts.phase })
+
+let rec watchdog_tick eng t ~period =
+  if active t && not (protocol_finished t) then begin
+    let s = progress_signature t in
+    if s <> t.watch_sig then begin
+      t.watch_sig <- s;
+      t.watch_idle <- 0
+    end
+    else t.watch_idle <- t.watch_idle + 1;
+    if t.watch_idle >= watch_threshold then begin
+      match diagnose_silence t with
+      | Some reason ->
+          abort t reason;
+          flush eng t
+      | None -> ()
+    end
+    else begin
+      if t.watch_idle = watch_threshold - 1 then begin
+        (* Last call before the abort verdict: try to finish every
+           stuck auction from the material that did arrive. *)
+        Array.iteri
+          (fun j ts ->
+            match ts.phase with
+            | Resolving_first -> attempt_first eng t j ts ~partial:true
+            | Resolving_second -> attempt_second eng t j ts ~partial:true
+            | Identifying ->
+                maybe_disclose eng t j ts;
+                advance eng t j
+            | Bidding | Done_ -> ())
+          t.tasks;
+        flush eng t
+      end;
+      eng.schedule ~delay:period (fun () -> watchdog_tick eng t ~period)
+    end
+  end
+
+let arm_watchdog eng t =
+  match t.watchdog with
+  | None -> ()
+  | Some period ->
+      t.watch_sig <- progress_signature t;
+      eng.schedule ~delay:period (fun () -> watchdog_tick eng t ~period)
+
+let start eng t =
+  start_bidding eng t;
+  arm_watchdog eng t
 
 let finalize_stall t =
   if Option.is_none t.aborted

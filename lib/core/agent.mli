@@ -45,8 +45,8 @@ type task_outcome = {
 type t
 
 val create :
-  ?batching:bool -> ?hardened:bool -> params:Params.t -> id:int ->
-  bids:int array -> strategy:Strategy.t -> rng:Prng.t -> unit -> t
+  ?batching:bool -> ?hardened:bool -> ?watchdog:float -> params:Params.t ->
+  id:int -> bids:int array -> strategy:Strategy.t -> rng:Prng.t -> unit -> t
 (** [bids.(j)] is the level this agent bids for task [j] (must satisfy
     {!Params.valid_bid}); a misreporting agent is created by passing a
     bid vector that differs from its true values. With
@@ -57,7 +57,20 @@ val create :
     false) disclosures carry the matching [h] shares and are verified
     {e per entry} — see {!Messages.F_disclosure_hardened}. All agents
     of a run must agree on these flags (they are protocol parameters
-    in spirit; [Dmw_exec.run] sets them uniformly). *)
+    in spirit; [Dmw_exec.run] sets them uniformly).
+
+    [~watchdog:period] arms crash detection: from {!start} on, the
+    agent fingerprints its protocol state every [period] seconds
+    (virtual or real, per the transport). After several consecutive
+    idle periods it makes one last attempt to finish every stuck
+    auction from the material that arrived (partial resolution,
+    Theorem 8 disclosure fallback) and, failing that, aborts with
+    {!Audit.Peer_silent} naming the first peer whose expected message
+    never came — or {!Audit.Deadline_exceeded} when no single silent
+    peer explains the stall. The period must comfortably exceed the
+    protocol's internal timeouts (50 ms) so built-in recovery exhausts
+    first. Default off: runs then keep the legacy run-to-quiescence
+    [Stalled] semantics. *)
 
 (** How an agent talks to the world. [Dmw_exec]'s backends build one
     each: from the discrete-event engine, from real mailboxes and

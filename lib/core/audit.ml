@@ -6,6 +6,8 @@ type reason =
   | Resolution_failed of { stage : string }
   | Payment_disagreement
   | Stalled of { phase : string }
+  | Peer_silent of { agent : int }
+  | Deadline_exceeded of { phase : string }
 
 type entry = { task : int; description : string; ok : bool }
 
@@ -30,3 +32,7 @@ let pp_reason fmt = function
   | Resolution_failed { stage } -> Format.fprintf fmt "degree resolution failed (%s)" stage
   | Payment_disagreement -> Format.fprintf fmt "payment reports disagree"
   | Stalled { phase } -> Format.fprintf fmt "stalled waiting in phase %s" phase
+  | Peer_silent { agent } ->
+      Format.fprintf fmt "peer %d went silent beyond the fault deadline" agent
+  | Deadline_exceeded { phase } ->
+      Format.fprintf fmt "deadline exceeded in phase %s" phase

@@ -21,6 +21,14 @@ type reason =
       (** The payment infrastructure received conflicting reports. *)
   | Stalled of { phase : string }
       (** Progress stopped: an expected message never arrived. *)
+  | Peer_silent of { agent : int }
+      (** The fault watchdog found progress stuck on a peer whose
+          messages never arrived — the crash-detection verdict under an
+          environment that violates Theorem 3's obedient transport. *)
+  | Deadline_exceeded of { phase : string }
+      (** The fault watchdog gave up in [phase] without being able to
+          blame a single silent peer (e.g. enough material arrived for
+          a partial resolution, but it still failed). *)
 
 type entry = { task : int; description : string; ok : bool }
 

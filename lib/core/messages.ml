@@ -26,6 +26,16 @@ let tag = function
   | Payment_report _ -> "payment_report"
   | Batch _ -> "batch"
 
+let task = function
+  | Share { task; _ }
+  | Commitments { task; _ }
+  | Lambda_psi { task; _ }
+  | F_disclosure { task; _ }
+  | F_disclosure_hardened { task; _ }
+  | Lambda_psi_excl { task; _ } ->
+      Some task
+  | Payment_report _ | Batch _ -> None
+
 let header_bytes = 8 (* task id + tag *)
 
 let rec byte_size group ~n = function

@@ -48,6 +48,12 @@ type t =
           remain [Θ(mn²)]). Nesting batches is not allowed. *)
 
 val tag : t -> string
+
+val task : t -> int option
+(** The auction a message belongs to; [None] for payment reports and
+    batch envelopes. Used by the agents to range-check inputs and by
+    the fault layer to key per-message coin flips. *)
+
 val byte_size : Group.t -> n:int -> t -> int
 (** Wire-size model used for the byte counters: bignums at minimal
     big-endian length, plus a small fixed header. *)

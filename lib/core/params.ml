@@ -46,6 +46,32 @@ let make_exn ?group_bits ?seed ?w_max ~n ~m ~c () =
   | Ok t -> t
   | Error msg -> invalid_arg ("Params.make: " ^ msg)
 
+let restrict t ~keep =
+  let n' = Array.length keep in
+  if n' < 3 then Error "fewer than 3 surviving agents"
+  else if Array.exists (fun i -> i < 0 || i >= t.n) keep then
+    Error "restrict: agent index out of range"
+  else begin
+    let distinct = Hashtbl.create n' in
+    Array.iter (fun i -> Hashtbl.replace distinct i ()) keep;
+    if Hashtbl.length distinct <> n' then Error "restrict: duplicate agent index"
+    else begin
+      (* The bid set W must survive unchanged (outstanding bids live in
+         it), so σ = w_max + c' + 1 ≤ n' bounds the new fault budget. *)
+      let c' = min t.c (n' - t.w_max - 1) in
+      if c' < 1 then Error "not enough survivors for the published bid range"
+      else
+        Ok
+          { group = t.group;
+            n = n';
+            m = t.m;
+            c = c';
+            w_max = t.w_max;
+            sigma = t.w_max + c' + 1;
+            alphas = Array.map (fun i -> t.alphas.(i)) keep }
+    end
+  end
+
 let crash_headroom t = t.n - t.sigma
 
 let bid_levels t = List.init t.w_max (fun i -> i + 1)

@@ -37,6 +37,14 @@ val make_exn :
   ?group_bits:int -> ?seed:int -> ?w_max:int -> n:int -> m:int -> c:int ->
   unit -> t
 
+val restrict : t -> keep:int array -> (t, string) result
+(** Parameters for a re-auction among the surviving agents [keep]
+    (distinct original indices): same group, task count and bid set
+    [W], survivor pseudonyms, and the largest fault budget [c'] the
+    smaller population can still carry ([w_max + c' + 1 <= n'],
+    [c' <= c]). Fails when fewer than 3 agents survive or the
+    published bid range no longer fits. *)
+
 val crash_headroom : t -> int
 (** [n − σ]: the number of agents that can go silent {e after} the
     bidding phase while every degree resolution (which needs at most

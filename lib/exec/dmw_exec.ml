@@ -8,6 +8,7 @@ module Mutex_util = Dmw_runtime.Mutex_util
 module Frame = Dmw_net.Frame
 module Fabric = Dmw_net.Fabric
 module Endpoint = Dmw_net.Endpoint
+module Fault = Dmw_sim.Fault
 
 (* ------------------------------------------------------------------ *)
 (* The unified result                                                  *)
@@ -31,9 +32,61 @@ type result = {
   statuses : agent_status array;
   trace : Trace.t;
   duration : float;
+  attempts : int;
+  excluded : int array;
 }
 
 type info = { trace : Trace.t; duration : float }
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection at the send boundary                                *)
+(* ------------------------------------------------------------------ *)
+
+type fault_plan = { faults : Fault.instance; retries : int }
+
+(* Gap between bounded retransmissions of one message; comfortably
+   above the link latencies of every backend and below the agents'
+   50 ms recovery timeouts. *)
+let retransmit_spacing = 0.03
+
+(* Wrap an agent's transport so every send runs through the fault
+   policy: the original plus [retries] retransmissions each flip their
+   own identity-keyed coins (receivers deduplicate, so extra copies are
+   harmless), drops are silent, and delays/duplicates reschedule the
+   delivery through the transport's own timer — keeping the callbacks
+   on the agent's thread, as Agent.transport requires. *)
+let apply_faults plan ~now ~src (base : Agent.transport) =
+  { Agent.send =
+      (fun ~dst ~tag ~bytes msg ->
+        let key =
+          match Messages.task msg with Some task -> task + 1 | None -> 0
+        in
+        for attempt = 0 to plan.retries do
+          let verdict =
+            Fault.decide plan.faults ~elapsed:(now ()) ~src ~dst ~tag ~key
+              ~attempt ()
+          in
+          if not verdict.Fault.drop then begin
+            let deliver () = base.Agent.send ~dst ~tag ~bytes msg in
+            let delay =
+              verdict.Fault.delay
+              +. (float_of_int attempt *. retransmit_spacing)
+            in
+            if delay <= 0.0 then deliver ()
+            else base.Agent.schedule ~delay deliver;
+            for copy = 1 to verdict.Fault.copies do
+              base.Agent.schedule
+                ~delay:(delay +. (0.002 *. float_of_int copy))
+                deliver
+            done
+          end
+        done);
+    schedule = base.Agent.schedule }
+
+let maybe_faults plan ~now ~src base =
+  match plan with
+  | None -> base
+  | Some plan -> apply_faults plan ~now ~src base
 
 (* ------------------------------------------------------------------ *)
 (* The backend interface                                               *)
@@ -49,6 +102,7 @@ module type BACKEND = sig
     params:Params.t ->
     seed:int ->
     keep_events:bool ->
+    faults:fault_plan option ->
     agents:Agent.t array ->
     report:(src:int -> float array -> unit) ->
     info
@@ -71,7 +125,7 @@ module Sim_backend = struct
 
   let name = "sim"
 
-  let execute cfg ~params ~seed ~keep_events ~agents ~report =
+  let execute cfg ~params ~seed ~keep_events ~faults ~agents ~report =
     let n = params.Params.n in
     (* Node n is the payment infrastructure. *)
     let eng =
@@ -80,7 +134,11 @@ module Sim_backend = struct
         ~nodes:(n + 1) ()
     in
     let transports =
-      Array.init n (fun i -> Agent.transport_of_engine eng ~id:i)
+      Array.init n (fun i ->
+          maybe_faults faults
+            ~now:(fun () -> Engine.now eng)
+            ~src:i
+            (Agent.transport_of_engine eng ~id:i))
     in
     for i = 0 to n - 1 do
       Engine.on_message eng ~node:i (fun _ d ->
@@ -127,22 +185,53 @@ let concurrent_trace ~keep_events =
 (* Drain payment reports until every agent reported once or the
    deadline passes (a stalled run — some agent aborted — never
    produces all n reports). [next] blocks up to the given number of
-   seconds for one report. *)
-let collect_reports ~n ~deadline ~report next =
+   seconds for one report and returns [None] when nothing arrived in
+   that slice. [finished] — given the received-so-far membership test —
+   says whether further reports can still come (every agent reported,
+   aborted, or already dispatched its report); once it turns true the
+   drain continues for one short grace window to catch reports that
+   were sent but are still in flight, then stops without waiting out
+   the full deadline. *)
+let collect_grace = 0.25
+
+let collect_reports ~n ~deadline ~finished ~report next =
   let received = Hashtbl.create n in
   let continue_ = ref true in
+  let finished_at = ref None in
   while !continue_ && Hashtbl.length received < n do
-    let remaining = deadline -. Unix.gettimeofday () in
+    let now = Unix.gettimeofday () in
+    (match !finished_at with
+    | None -> if finished (Hashtbl.mem received) then finished_at := Some now
+    | Some _ -> ());
+    let stop_at =
+      match !finished_at with
+      | Some t -> Float.min deadline (t +. collect_grace)
+      | None -> deadline
+    in
+    let remaining = stop_at -. now in
     if remaining <= 0.0 then continue_ := false
     else
-      match next remaining with
-      | None -> continue_ := false
+      match next (Float.min remaining 0.05) with
+      | None -> () (* nothing this slice; re-check [finished] *)
       | Some (src, payments) ->
           if src >= 0 && src < n && not (Hashtbl.mem received src) then begin
             Hashtbl.replace received src ();
             report ~src payments
           end
   done
+
+(* Further reports can only come from agents that are still working:
+   not yet reported, not aborted, and not already past their Phase IV
+   send. Reading the agents' fields from the collector thread races
+   with their own threads only benignly (single word reads; a stale
+   value merely delays the early exit by a slice). *)
+let no_more_reports agents received =
+  Array.for_all
+    (fun a ->
+      received (Agent.id a)
+      || Option.is_some (Agent.aborted a)
+      || Option.is_some (Agent.reported_payments a))
+    agents
 
 (* ------------------------------------------------------------------ *)
 (* Backend: shared-memory threads                                      *)
@@ -155,7 +244,7 @@ module Thread_backend = struct
 
   type event = Deliver of { src : int; msg : Messages.t } | Act of (unit -> unit)
 
-  let execute cfg ~params ~seed:_ ~keep_events ~agents ~report =
+  let execute cfg ~params ~seed:_ ~keep_events ~faults ~agents ~report =
     let n = params.Params.n in
     let trace, t0, record = concurrent_trace ~keep_events in
     let boxes = Array.init n (fun _ -> Mailbox.create ()) in
@@ -163,26 +252,29 @@ module Thread_backend = struct
     let timer = Timer.create () in
     let transports =
       Array.init n (fun i ->
-          { Agent.send =
-              (fun ~dst ~tag ~bytes msg ->
-                record ~src:i ~dst ~tag ~bytes;
-                if dst = n then
-                  match msg with
-                  | Messages.Payment_report { payments } ->
-                      Mailbox.push reports (i, payments)
-                  | Messages.Share _ | Messages.Commitments _
-                  | Messages.Lambda_psi _ | Messages.F_disclosure _
-                  | Messages.F_disclosure_hardened _ | Messages.Lambda_psi_excl _
-                  | Messages.Batch _ ->
-                      ()
-                else if dst >= 0 && dst < n then
-                  Mailbox.push boxes.(dst) (Deliver { src = i; msg }));
-            schedule =
-              (fun ~delay f ->
-                (* Ticks route through the agent's own mailbox so all
-                   agent mutations stay on its thread. *)
-                Timer.schedule timer ~delay (fun () ->
-                    Mailbox.push boxes.(i) (Act f))) })
+          maybe_faults faults
+            ~now:(fun () -> Unix.gettimeofday () -. t0)
+            ~src:i
+            { Agent.send =
+                (fun ~dst ~tag ~bytes msg ->
+                  record ~src:i ~dst ~tag ~bytes;
+                  if dst = n then
+                    match msg with
+                    | Messages.Payment_report { payments } ->
+                        Mailbox.push reports (i, payments)
+                    | Messages.Share _ | Messages.Commitments _
+                    | Messages.Lambda_psi _ | Messages.F_disclosure _
+                    | Messages.F_disclosure_hardened _
+                    | Messages.Lambda_psi_excl _ | Messages.Batch _ ->
+                        ()
+                  else if dst >= 0 && dst < n then
+                    Mailbox.push boxes.(dst) (Deliver { src = i; msg }));
+              schedule =
+                (fun ~delay f ->
+                  (* Ticks route through the agent's own mailbox so all
+                     agent mutations stay on its thread. *)
+                  Timer.schedule timer ~delay (fun () ->
+                      Mailbox.push boxes.(i) (Act f))) })
     in
     let worker i =
       Agent.start transports.(i) agents.(i);
@@ -199,7 +291,8 @@ module Thread_backend = struct
       loop ()
     in
     let threads = Array.init n (fun i -> Thread.create worker i) in
-    collect_reports ~n ~deadline:(t0 +. cfg.timeout) ~report (fun remaining ->
+    collect_reports ~n ~deadline:(t0 +. cfg.timeout)
+      ~finished:(no_more_reports agents) ~report (fun remaining ->
         Mailbox.pop ~timeout:remaining reports);
     Array.iter Mailbox.close boxes;
     Array.iter Thread.join threads;
@@ -217,7 +310,7 @@ module Socket_backend = struct
 
   let name = "socket"
 
-  let execute cfg ~params ~seed:_ ~keep_events ~agents ~report =
+  let execute cfg ~params ~seed:_ ~keep_events ~faults ~agents ~report =
     let n = params.Params.n in
     let trace, t0, record = concurrent_trace ~keep_events in
     (* Endpoints 0..n-1 are the agents; endpoint n is the payment
@@ -227,13 +320,20 @@ module Socket_backend = struct
       Array.init n (fun i ->
           Thread.create
             (fun () ->
-              Endpoint.run_agent ~fd:(Fabric.endpoint_fd fabric i)
+              Endpoint.run_agent
+                ~wrap:
+                  (maybe_faults faults
+                     ~now:(fun () -> Unix.gettimeofday () -. t0)
+                     ~src:i)
+                ~fd:(Fabric.endpoint_fd fabric i)
                 ~agent:agents.(i)
-                ~on_send:(fun ~dst ~tag ~bytes -> record ~src:i ~dst ~tag ~bytes))
+                ~on_send:(fun ~dst ~tag ~bytes -> record ~src:i ~dst ~tag ~bytes)
+                ())
             ())
     in
     let infra_fd = Fabric.endpoint_fd fabric n in
-    collect_reports ~n ~deadline:(t0 +. cfg.timeout) ~report (fun remaining ->
+    collect_reports ~n ~deadline:(t0 +. cfg.timeout)
+      ~finished:(no_more_reports agents) ~report (fun remaining ->
         match Unix.select [ infra_fd ] [] [] remaining with
         | [], _, _ -> None
         | _ -> (
@@ -299,9 +399,9 @@ let validate_bids (params : Params.t) bids =
         row)
     bids
 
-let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
-    ?(keep_events = true) ?(batching = false) ?(hardened = false)
-    ?(backend = sim ()) (params : Params.t) ~bids =
+(* One protocol execution over a fixed agent population. *)
+let run_attempt ~strategies ~seed ~keep_events ~batching ~hardened ~watchdog
+    ~faults ~backend (params : Params.t) ~bids =
   validate_bids params bids;
   let n = params.n in
   (* The master RNG and per-agent split order are the seeding
@@ -310,14 +410,24 @@ let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
   let master_rng = Prng.create ~seed:(seed lxor 0xA6E77) in
   let agents =
     Array.init n (fun i ->
-        Agent.create ~batching ~hardened ~params ~id:i ~bids:bids.(i)
+        Agent.create ~batching ~hardened ?watchdog ~params ~id:i ~bids:bids.(i)
           ~strategy:(strategies i)
           ~rng:(Prng.split master_rng) ())
+  in
+  (* The fault policy draws its per-message coins from the same run
+     seed under its own salt — one schedule, replayed identically by
+     every backend. *)
+  let plan =
+    Option.map
+      (fun spec ->
+        { faults = Fault.instantiate spec ~seed:(seed lxor 0xFA17);
+          retries = Fault.retransmits spec })
+      faults
   in
   let infra = Payment_infra.create ~n in
   let (Backend ((module B), config)) = backend in
   let info =
-    B.execute config ~params ~seed ~keep_events ~agents
+    B.execute config ~params ~seed ~keep_events ~faults:plan ~agents
       ~report:(fun ~src payments -> Payment_infra.receive infra ~from_:src payments)
   in
   Array.iter Agent.finalize_stall agents;
@@ -365,14 +475,173 @@ let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
     payments;
     statuses;
     trace = info.trace;
-    duration = info.duration }
+    duration = info.duration;
+    attempts = 1;
+    excluded = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Re-auctioning after environmental aborts                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Aborts the environment can cause, as opposed to detected strategic
+   deviations (which must never be healed by a retry — the faithfulness
+   argument needs deviators punished, not re-auctioned around). *)
+let environmental = function
+  | Audit.Stalled _ | Audit.Peer_silent _ | Audit.Deadline_exceeded _ -> true
+  | Audit.Bad_share _ | Audit.Bad_lambda_psi _ | Audit.Bad_disclosure _
+  | Audit.Bad_lambda_psi_excl _ | Audit.Resolution_failed _
+  | Audit.Payment_disagreement ->
+      false
+
+(* Agent indices inside abort reasons are attempt-local; rewrite them
+   to the original numbering. *)
+let remap_reason orig = function
+  | Audit.Bad_share { dealer } -> Audit.Bad_share { dealer = orig.(dealer) }
+  | Audit.Bad_lambda_psi { agent } ->
+      Audit.Bad_lambda_psi { agent = orig.(agent) }
+  | Audit.Bad_disclosure { agent } ->
+      Audit.Bad_disclosure { agent = orig.(agent) }
+  | Audit.Bad_lambda_psi_excl { agent } ->
+      Audit.Bad_lambda_psi_excl { agent = orig.(agent) }
+  | Audit.Peer_silent { agent } -> Audit.Peer_silent { agent = orig.(agent) }
+  | (Audit.Resolution_failed _ | Audit.Payment_disagreement | Audit.Stalled _
+    | Audit.Deadline_exceeded _) as r ->
+      r
+
+(* Express an attempt-local result in the original agent numbering:
+   [orig.(i)] is the original index of local agent [i], [frozen] holds
+   the statuses of agents excluded by earlier attempts. *)
+let remap_result ~params0 ~orig ~frozen ~attempt (r : result) =
+  let n0 = params0.Params.n in
+  let schedule =
+    Option.map
+      (fun s ->
+        Dmw_mechanism.Schedule.create ~agents:n0
+          ~assignment:
+            (Array.map (fun w -> orig.(w)) (Dmw_mechanism.Schedule.assignment s)))
+      r.schedule
+  in
+  let payments = Array.make n0 None in
+  Array.iteri (fun i p -> payments.(orig.(i)) <- p) r.payments;
+  let statuses =
+    Array.init n0 (fun i ->
+        match frozen.(i) with
+        | Some s -> s
+        | None ->
+            (* Not excluded, so it took part in the final attempt. *)
+            let local = ref 0 in
+            Array.iteri (fun l o -> if o = i then local := l) orig;
+            let s = r.statuses.(!local) in
+            { s with
+              agent = i;
+              aborted = Option.map (remap_reason orig) s.aborted })
+  in
+  let excluded =
+    Array.of_list
+      (List.filter (fun i -> Option.is_some frozen.(i)) (List.init n0 Fun.id))
+  in
+  { r with params = params0; schedule; payments; statuses; attempts = attempt;
+    excluded }
+
+let completed_attempt r =
+  Option.is_some r.schedule && Array.for_all Option.is_some r.payments
+
+let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
+    ?(keep_events = true) ?(batching = false) ?(hardened = false) ?faults
+    ?watchdog ?(retries = 0) ?(backend = sim ()) (params : Params.t) ~bids =
+  if retries < 0 then invalid_arg "Dmw_exec.run: negative retries";
+  (* Crash detection is armed exactly when an adverse environment is
+     declared; fault-free runs keep the legacy run-to-quiescence
+     Stalled semantics that the deviation experiments rely on. *)
+  let watchdog =
+    match (watchdog, faults) with
+    | Some p, _ -> Some p
+    | None, Some _ -> Some 0.25
+    | None, None -> None
+  in
+  let params0 = params in
+  let frozen = Array.make params0.Params.n None in
+  let rec attempt_loop ~attempt ~params ~bids ~strategies ~orig ~faults =
+    let r =
+      run_attempt ~strategies
+        ~seed:(seed + (7919 * (attempt - 1)))
+        ~keep_events ~batching ~hardened ~watchdog ~faults ~backend params ~bids
+    in
+    let give_up () = remap_result ~params0 ~orig ~frozen ~attempt r in
+    if completed_attempt r || attempt > retries then give_up ()
+    else begin
+      let aborts =
+        Array.to_list r.statuses |> List.filter_map (fun s -> s.aborted)
+      in
+      (* Re-auction only a cleanly diagnosed environmental failure:
+         every abort environmental, a silent peer convicted by a strict
+         majority of the agents, and the surviving population still
+         able to carry the published bid set. Majority voting matters —
+         a crashed agent, whose own outbound went dark, sees everyone
+         {e else} as silent and blames an innocent peer. *)
+      let votes = Array.make r.params.Params.n 0 in
+      List.iter
+        (function
+          | Audit.Peer_silent { agent } -> votes.(agent) <- votes.(agent) + 1
+          | Audit.Bad_share _ | Audit.Bad_lambda_psi _ | Audit.Bad_disclosure _
+          | Audit.Bad_lambda_psi_excl _ | Audit.Resolution_failed _
+          | Audit.Payment_disagreement | Audit.Stalled _
+          | Audit.Deadline_exceeded _ ->
+              ())
+        aborts;
+      let blamed =
+        List.filter
+          (fun i -> 2 * votes.(i) > r.params.Params.n)
+          (List.init r.params.Params.n Fun.id)
+      in
+      if aborts = [] || blamed = [] || not (List.for_all environmental aborts)
+      then give_up ()
+      else begin
+        let survivors =
+          Array.of_list
+            (List.filter
+               (fun i -> not (List.mem i blamed))
+               (List.init params.Params.n Fun.id))
+        in
+        match Params.restrict params ~keep:survivors with
+        | Error _ -> give_up ()
+        | Ok params' ->
+            List.iter
+              (fun i ->
+                let s = r.statuses.(i) in
+                frozen.(orig.(i)) <-
+                  Some
+                    { s with
+                      agent = orig.(i);
+                      aborted = Option.map (remap_reason orig) s.aborted })
+              blamed;
+            let bids' = Array.map (fun i -> bids.(i)) survivors in
+            let strategies' l = strategies survivors.(l) in
+            let orig' = Array.map (fun i -> orig.(i)) survivors in
+            (* The fault environment follows the physical nodes: terms
+               aimed at an expelled agent vanish, the rest are rewritten
+               to the survivors' numbering. *)
+            let faults' =
+              Option.map (fun f -> Fault.remap f ~keep:survivors) faults
+            in
+            attempt_loop ~attempt:(attempt + 1) ~params:params' ~bids:bids'
+              ~strategies:strategies' ~orig:orig' ~faults:faults'
+      end
+    end
+  in
+  attempt_loop ~attempt:1 ~params ~bids ~strategies
+    ~orig:(Array.init params0.Params.n Fun.id)
+    ~faults
 
 (* ------------------------------------------------------------------ *)
 (* Derived quantities                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let completed r =
-  Option.is_some r.schedule && Array.for_all Option.is_some r.payments
+  Option.is_some r.schedule
+  && List.for_all
+       (fun i -> Array.mem i r.excluded || Option.is_some r.payments.(i))
+       (List.init (Array.length r.payments) Fun.id)
 
 let utility r ~true_levels ~agent =
   match r.schedule with
@@ -392,18 +661,28 @@ let utilities r ~true_levels =
 
 let pp_summary fmt r =
   Format.fprintf fmt "@[<v>%a@," Params.pp r.params;
+  let pp_aborts () =
+    Array.iter
+      (fun s ->
+        match s.aborted with
+        | Some reason ->
+            Format.fprintf fmt "  agent %d (%s): %a@," s.agent
+              (Strategy.to_string s.strategy)
+              Audit.pp_reason reason
+        | None -> ())
+      r.statuses
+  in
+  if r.attempts > 1 then
+    Format.fprintf fmt "re-auctioned %d time%s; excluded agents: %s@,"
+      (r.attempts - 1)
+      (if r.attempts > 2 then "s" else "")
+      (String.concat ", "
+         (Array.to_list
+            (Array.map (fun i -> Printf.sprintf "A%d" (i + 1)) r.excluded)));
   (match r.schedule with
   | None ->
       Format.fprintf fmt "protocol did not complete@,";
-      Array.iter
-        (fun s ->
-          match s.aborted with
-          | Some reason ->
-              Format.fprintf fmt "  agent %d (%s): %a@," s.agent
-                (Strategy.to_string s.strategy)
-                Audit.pp_reason reason
-          | None -> ())
-        r.statuses
+      pp_aborts ()
   | Some schedule ->
       Format.fprintf fmt "%a" Dmw_mechanism.Schedule.pp schedule;
       (match (r.first_prices, r.second_prices) with
@@ -417,7 +696,10 @@ let pp_summary fmt r =
           match p with
           | Some p -> Format.fprintf fmt "P%d = %.1f@," (i + 1) p
           | None -> Format.fprintf fmt "P%d withheld@," (i + 1))
-        r.payments);
+        r.payments;
+      (* A quorum can complete around an aborted straggler; surface
+         the audit verdicts either way. *)
+      pp_aborts ());
   Format.fprintf fmt "messages = %d, bytes = %d, %s = %.3f s [%s backend]@]"
     (Trace.messages r.trace) (Trace.bytes r.trace)
     (if r.backend = "sim" then "virtual time" else "wall time")

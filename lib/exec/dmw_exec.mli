@@ -37,14 +37,42 @@ type result = {
       (** What the payment infrastructure issued, per agent. *)
   statuses : agent_status array;
   trace : Dmw_sim.Trace.t;
-      (** Message accounting; every backend records real sends. *)
+      (** Message accounting; every backend records real sends. For a
+          re-auctioned run, the final attempt's trace. *)
   duration : float;
       (** Virtual seconds until the last protocol message (sim), or
           wall-clock seconds for the run (threads, socket). *)
+  attempts : int;
+      (** Number of protocol executions: 1, plus one per re-auction
+          after an environmental abort (see [run]'s [?retries]). *)
+  excluded : int array;
+      (** Agents excluded by re-auctioning (original indices,
+          ascending); empty unless [attempts > 1]. Their payments are
+          withheld and their statuses are those of the attempt that
+          expelled them. *)
 }
 
 type info = { trace : Dmw_sim.Trace.t; duration : float }
 (** What a backend hands back to the harness. *)
+
+type fault_plan = { faults : Dmw_sim.Fault.instance; retries : int }
+(** An instantiated fault policy plus the bounded number of
+    retransmissions the send wrapper adds per message
+    ({!Dmw_sim.Fault.retransmits}). *)
+
+val apply_faults :
+  fault_plan ->
+  now:(unit -> float) ->
+  src:int ->
+  Dmw_core.Agent.transport ->
+  Dmw_core.Agent.transport
+(** Interpose the fault policy at a transport's send boundary: every
+    send consults {!Dmw_sim.Fault.decide} with the message identity
+    (source, destination, tag, task, attempt number) for the original
+    transmission and each retransmission; drops are silent, delays and
+    duplicate copies reschedule delivery through the transport's own
+    timer. Exposed so every backend — and any future one — injects the
+    identical policy. *)
 
 (** A message fabric. [execute] runs Phases II–IV of the prepared
     [agents] to completion (or to its own notion of a deadline),
@@ -60,6 +88,7 @@ module type BACKEND = sig
     params:Params.t ->
     seed:int ->
     keep_events:bool ->
+    faults:fault_plan option ->
     agents:Agent.t array ->
     report:(src:int -> float array -> unit) ->
     info
@@ -108,6 +137,9 @@ val run :
   ?keep_events:bool ->
   ?batching:bool ->
   ?hardened:bool ->
+  ?faults:Dmw_sim.Fault.t ->
+  ?watchdog:float ->
+  ?retries:int ->
   ?backend:backend ->
   Params.t ->
   bids:int array array ->
@@ -119,7 +151,25 @@ val run :
     {!Dmw_core.Messages.Batch} envelope. [hardened] (default false)
     switches Phase III.3 to per-entry-verified disclosures. Both flags
     apply uniformly to all agents on every backend. [backend] defaults
-    to [sim ()]. *)
+    to [sim ()].
+
+    [faults] declares an adverse environment: the policy is
+    instantiated from the run seed ([seed lxor 0xFA17]) and injected
+    at every backend's send boundary through {!apply_faults}, so the
+    same seed and policy lose, delay and duplicate the {e same}
+    messages on sim, threads and socket. Declaring faults also arms
+    each agent's crash-detection watchdog ([watchdog] overrides the
+    0.25 s default period), so a run that can no longer progress ends
+    in a clean audited abort ({!Dmw_core.Audit.Peer_silent} /
+    [Deadline_exceeded]) rather than a hang.
+
+    [retries] (default 0) allows re-auctioning: when an attempt ends
+    with only environmental aborts and a quorum of agents survives the
+    silent peers named by the watchdog verdicts, the auction reruns
+    among the survivors (fresh polynomials, attempt-salted seed,
+    [Params.restrict]ed parameters) up to [retries] times. The result
+    is expressed in the original agent numbering with the expelled
+    agents listed in [excluded]. *)
 
 val completed : result -> bool
 (** True when a consensus schedule and full payments exist. *)

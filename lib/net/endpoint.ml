@@ -16,24 +16,25 @@ let insert timers e =
   in
   go timers
 
-let run_agent ~fd ~(agent : Agent.t) ~on_send =
+let run_agent ?(wrap = Fun.id) ~fd ~(agent : Agent.t) ~on_send () =
   let timers = ref [] in
   let seq = ref 0 in
   let stopped = ref false in
   let tr =
-    { Agent.send =
-        (fun ~dst ~tag ~bytes msg ->
-          if not !stopped then begin
-            on_send ~dst ~tag ~bytes;
-            try Frame.write fd ~src:(Agent.id agent) ~dst (Codec.encode msg)
-            with Unix.Unix_error (_, _, _) -> stopped := true
-          end);
-      schedule =
-        (fun ~delay fire ->
-          incr seq;
-          timers :=
-            insert !timers
-              { at = Unix.gettimeofday () +. delay; seq = !seq; fire }) }
+    wrap
+      { Agent.send =
+          (fun ~dst ~tag ~bytes msg ->
+            if not !stopped then begin
+              on_send ~dst ~tag ~bytes;
+              try Frame.write fd ~src:(Agent.id agent) ~dst (Codec.encode msg)
+              with Unix.Unix_error (_, _, _) -> stopped := true
+            end);
+        schedule =
+          (fun ~delay fire ->
+            incr seq;
+            timers :=
+              insert !timers
+                { at = Unix.gettimeofday () +. delay; seq = !seq; fire }) }
   in
   Agent.start tr agent;
   while not !stopped do

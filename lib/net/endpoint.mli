@@ -8,10 +8,15 @@
     {!Fabric.stop_src} frame arrives or the socket closes. *)
 
 val run_agent :
+  ?wrap:(Dmw_core.Agent.transport -> Dmw_core.Agent.transport) ->
   fd:Unix.file_descr ->
   agent:Dmw_core.Agent.t ->
   on_send:(dst:int -> tag:string -> bytes:int -> unit) ->
+  unit ->
   unit
 (** Runs Phases II–IV of [agent] over [fd]; returns after the stop
     signal. [on_send] observes every transmitted message (for the
-    backend's trace accounting); it is called from this thread only. *)
+    backend's trace accounting); it is called from this thread only.
+    [wrap] (default identity) decorates the transport the agent sees —
+    the execution harness uses it to interpose fault injection at the
+    send boundary; the wrapped callbacks still run on this thread. *)

@@ -68,22 +68,17 @@ let drain_frames t ~from peer =
   let pos = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    if peer.inlen - !pos >= Frame.header_size then begin
-      let src, dst, len = Frame.parse_header peer.inbuf ~pos:!pos in
-      if len < 0 || len > Frame.max_payload then begin
+    match Frame.decode peer.inbuf ~pos:!pos ~len:(peer.inlen - !pos) with
+    | Ok { Frame.src; dst; payload; size } ->
+        route t ~from src dst payload;
+        pos := !pos + size
+    | Error (Frame.Truncated _) ->
+        (* Not an error mid-stream: the rest of the frame is still in
+           flight. *)
+        continue_ := false
+    | Error (Frame.Oversized _ | Frame.Negative_length _) ->
         peer.closed <- true;
         continue_ := false
-      end
-      else if peer.inlen - !pos >= Frame.header_size + len then begin
-        let payload =
-          Bytes.sub_string peer.inbuf (!pos + Frame.header_size) len
-        in
-        route t ~from src dst payload;
-        pos := !pos + Frame.header_size + len
-      end
-      else continue_ := false
-    end
-    else continue_ := false
   done;
   if !pos > 0 then begin
     Bytes.blit peer.inbuf !pos peer.inbuf 0 (peer.inlen - !pos);

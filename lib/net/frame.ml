@@ -33,6 +33,48 @@ let parse_header b ~pos =
   let len = Int32.to_int (Bytes.get_int32_be b (pos + 4)) in
   (src, dst, len)
 
+(* Typed decoding over an in-memory region: the one place that rules
+   on frame well-formedness. Streaming callers treat [Truncated] as
+   "wait for more bytes" and the other errors as a poisoned stream;
+   one-shot callers (the fuzz tests) get a total function that never
+   raises on adversarial input. *)
+
+type decoded = { src : int; dst : int; payload : string; size : int }
+
+type error =
+  | Truncated of { have : int; need : int }
+  | Oversized of { declared : int }
+  | Negative_length of { declared : int }
+
+let error_to_string = function
+  | Truncated { have; need } ->
+      Printf.sprintf "truncated frame: have %d bytes, need %d" have need
+  | Oversized { declared } ->
+      Printf.sprintf "oversized frame: declared payload of %d bytes" declared
+  | Negative_length { declared } ->
+      Printf.sprintf "negative frame length %d" declared
+
+let decode ?(pos = 0) ?len b =
+  let len =
+    match len with Some l -> l | None -> Bytes.length b - pos
+  in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Frame.decode: region out of bounds";
+  if len < header_size then Error (Truncated { have = len; need = header_size })
+  else begin
+    let src, dst, declared = parse_header b ~pos in
+    if declared < 0 then Error (Negative_length { declared })
+    else if declared > max_payload then Error (Oversized { declared })
+    else if len < header_size + declared then
+      Error (Truncated { have = len; need = header_size + declared })
+    else
+      Ok
+        { src;
+          dst;
+          payload = Bytes.sub_string b (pos + header_size) declared;
+          size = header_size + declared }
+  end
+
 let rec write_all fd b pos len =
   if len > 0 then begin
     let w =
@@ -59,14 +101,20 @@ let read fd =
     let hdr = Bytes.create header_size in
     if not (read_exact fd hdr 0 header_size) then `Closed
     else begin
-      let src, dst, len = parse_header hdr ~pos:0 in
-      if len < 0 || len > max_payload then `Closed
-      else begin
-        let b = Bytes.create len in
-        if read_exact fd b 0 len then
-          `Frame (src, dst, Bytes.unsafe_to_string b)
-        else `Closed
-      end
+      match decode hdr with
+      | Ok { src; dst; payload; _ } -> `Frame (src, dst, payload)
+      | Error (Oversized _ | Negative_length _) -> `Closed
+      | Error (Truncated { need; _ }) -> begin
+          let b = Bytes.create need in
+          Bytes.blit hdr 0 b 0 header_size;
+          if not (read_exact fd b header_size (need - header_size)) then
+            `Closed
+          else begin
+            match decode b with
+            | Ok { src; dst; payload; _ } -> `Frame (src, dst, payload)
+            | Error _ -> `Closed
+          end
+        end
     end
   with
   | frame -> frame

@@ -17,6 +17,35 @@ val parse_header : Bytes.t -> pos:int -> int * int * int
 (** [(src, dst, len)] of the header starting at [pos]; the caller
     guarantees [header_size] bytes are available. *)
 
+type decoded = {
+  src : int;
+  dst : int;
+  payload : string;
+  size : int;  (** Total bytes consumed, header included. *)
+}
+
+type error =
+  | Truncated of { have : int; need : int }
+      (** Fewer bytes than the header, or than the declared payload,
+          requires. For a streaming caller this means "wait for more";
+          for a complete buffer it is a defect. *)
+  | Oversized of { declared : int }
+      (** Declared payload exceeds {!max_payload}: corrupt or hostile. *)
+  | Negative_length of { declared : int }
+      (** The length field read back negative: corrupt or hostile. *)
+
+val error_to_string : error -> string
+
+val decode : ?pos:int -> ?len:int -> Bytes.t -> (decoded, error) result
+(** Decode one frame from the region starting at [pos] (default 0)
+    spanning [len] bytes (default: the rest of the buffer). Total on
+    arbitrary bytes: every outcome is a value, never an exception or
+    an unbounded read — the property the frame fuzz tests pin down.
+    The switch and the endpoints route all inbound parsing through
+    this function.
+    @raise Invalid_argument only if [pos]/[len] do not describe a
+    region inside the buffer (a caller bug, not adversarial input). *)
+
 val write : Unix.file_descr -> src:int -> dst:int -> string -> unit
 (** Blocking write of one whole frame.
     @raise Unix.Unix_error when the peer is gone. *)

@@ -15,6 +15,7 @@ type 'a event =
 type 'a t = {
   n : int;
   fault : Fault.t;
+  fault_inst : Fault.instance;
   latency : src:int -> dst:int -> float;
   trace : Trace.t;
   queue : 'a event Heap.t;
@@ -47,6 +48,7 @@ let create ?(seed = 0) ?(fault = Fault.none) ?latency ?(keep_events = true)
   in
   { n = nodes;
     fault;
+    fault_inst = Fault.instantiate fault ~seed:(seed lxor 0xFA17);
     latency;
     trace = Trace.create ~keep_events ();
     queue = Heap.create ();
@@ -70,10 +72,16 @@ let enqueue_delivery t ~src ~dst ~tag ~bytes ~payload ~was_broadcast =
   if src <> dst then
     Trace.record t.trace
       { Trace.time = t.clock; src; dst; tag; bytes; broadcast = was_broadcast };
-  if Fault.allows t.fault ~time:t.clock ~src ~dst ~tag then begin
+  let verdict =
+    Fault.decide t.fault_inst ~elapsed:t.clock ~src ~dst ~tag ()
+  in
+  if not verdict.Fault.drop then begin
     let base =
       if src = dst then 0.0
-      else t.latency ~src ~dst +. (float_of_int bytes /. t.bandwidth)
+      else
+        t.latency ~src ~dst
+        +. (float_of_int bytes /. t.bandwidth)
+        +. verdict.Fault.delay
     in
     let deliver_once () =
       let factor =
@@ -86,6 +94,9 @@ let enqueue_delivery t ~src ~dst ~tag ~bytes ~payload ~was_broadcast =
       Heap.push t.queue ~priority:delivery.now (Deliver { dst; delivery })
     in
     deliver_once ();
+    for _copy = 1 to verdict.Fault.copies do
+      deliver_once ()
+    done;
     if t.duplicate > 0.0 && Prng.float t.chaos_rng < t.duplicate then
       deliver_once ()
   end

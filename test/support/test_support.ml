@@ -52,3 +52,162 @@ let check_bigint msg expected actual = Alcotest.check bigint_testable msg expect
 
 let small_group () = Dmw_modular.Group.standard ~bits:64
 let tiny_group () = Dmw_modular.Group.standard ~bits:32
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON reader for the golden fault-trace vectors. The
+   container carries no JSON library, and the vectors only need the
+   core grammar: objects, arrays, strings (escapes limited to quote,
+   backslash, slash, newline and tab), integers/floats,
+   true/false/null. Strict enough to reject malformed vectors loudly
+   rather than misread them. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      String.iter (fun c -> expect c) word;
+      value
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+            advance ();
+            (match peek () with
+            | Some '"' -> Buffer.add_char b '"'
+            | Some '\\' -> Buffer.add_char b '\\'
+            | Some '/' -> Buffer.add_char b '/'
+            | Some 'n' -> Buffer.add_char b '\n'
+            | Some 't' -> Buffer.add_char b '\t'
+            | _ -> fail "unsupported escape");
+            advance ();
+            go ()
+        | Some c -> advance (); Buffer.add_char b c; go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when numchar c -> true | _ -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (advance (); Obj [])
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); members ((key, v) :: acc)
+              | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (advance (); Arr [])
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); elements (v :: acc)
+              | Some ']' -> advance (); Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let of_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    parse content
+
+  (* Accessors: loud failure beats a silently missing field in a
+     golden vector. *)
+  let member key = function
+    | Obj fields -> (
+        match List.assoc_opt key fields with
+        | Some v -> v
+        | None -> raise (Parse_error ("missing field " ^ key)))
+    | _ -> raise (Parse_error ("not an object at field " ^ key))
+
+  let to_int = function
+    | Num f when Float.is_integer f -> int_of_float f
+    | _ -> raise (Parse_error "expected an integer")
+
+  let to_string = function
+    | Str s -> s
+    | _ -> raise (Parse_error "expected a string")
+
+  let to_bool = function
+    | Bool b -> b
+    | _ -> raise (Parse_error "expected a bool")
+
+  let to_list = function
+    | Arr l -> l
+    | _ -> raise (Parse_error "expected an array")
+
+  let to_int_array v = Array.of_list (List.map to_int (to_list v))
+end

@@ -104,6 +104,83 @@ let test_socket_disclosure_fallback () =
       Alcotest.(check bool) "honest schedule" true (Dmw_mechanism.Schedule.equal a b)
   | _ -> Alcotest.fail "missing schedule"
 
+(* ------------------------------------------------------------------ *)
+(* Fault parity: the determinism contract extends to adverse
+   environments — the same seed and fault schedule produce identical
+   outcomes, including the abort reasons, on every backend. *)
+
+let fault_schedules =
+  [ ("lossy", Dmw_sim.Fault.drop_random ~probability:0.15);
+    ("lossy+slow+dup",
+     Dmw_sim.Fault.all
+       [ Dmw_sim.Fault.drop_random ~probability:0.1;
+         Dmw_sim.Fault.delay_random ~probability:0.4 ~delay:0.03;
+         Dmw_sim.Fault.duplicate_random ~probability:0.3 ]);
+    ("silenced resolver",
+     Dmw_sim.Fault.silence_from ~node:2
+       ~phase:Dmw_sim.Fault.phase_resolution);
+    ("cut link",
+     Dmw_sim.Fault.all
+       [ Dmw_sim.Fault.drop_link ~src:1 ~dst:3;
+         Dmw_sim.Fault.drop_link ~src:3 ~dst:1 ]) ]
+
+let test_fault_parity () =
+  List.iter
+    (fun (label, faults) ->
+      let results =
+        List.map
+          (fun backend ->
+            Dmw_exec.run ~seed:7 ~keep_events:false ~faults ~backend params
+              ~bids)
+          (backends ~timeout:20.0)
+      in
+      (match List.map outcome_fields results with
+      | reference :: rest ->
+          List.iteri
+            (fun i fields ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: backend %d matches sim" label (i + 1))
+                true (fields = reference))
+            rest
+      | [] -> Alcotest.fail "no results");
+      (* Every run terminated in a decided state: consensus or a clean
+         audited abort on some agent — never silence. *)
+      List.iter
+        (fun (r : Dmw_exec.result) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s decided" label r.Dmw_exec.backend)
+            true
+            (Dmw_exec.completed r || abort_set r <> []))
+        results)
+    fault_schedules
+
+(* Regression (found by test_chaos.ml, seed 0xC4A05 schedule 39): on
+   the real-time backends a delay fault can make a discloser's f row
+   overtake its own delayed (Λ, Ψ) publication on one link; the row
+   used to be discarded as unverifiable, starving the receiver until
+   its watchdog blamed the innocent discloser — a spurious abort the
+   virtual-clock sim never reproduced. The agent now parks the early
+   row until the pair lands. The race fired on ~4 of 5 runs before the
+   fix, so a handful of trials pins it reliably. *)
+let test_delayed_publication_reordering () =
+  let p = Params.make_exn ~group_bits:64 ~seed:3 ~n:4 ~m:1 ~c:1 () in
+  let bids = [| [| 2 |]; [| 1 |]; [| 2 |]; [| 2 |] |] in
+  let faults = Dmw_sim.Fault.delay_random ~probability:0.186861 ~delay:0.0392512 in
+  for trial = 1 to 5 do
+    let r =
+      Dmw_exec.run ~seed:5782 ~keep_events:false ~faults ~watchdog:0.12
+        ~backend:(Dmw_exec.threads ~timeout:10.0 ())
+        p ~bids
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d completed" trial)
+      true (Dmw_exec.completed r);
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d no spurious aborts" trial)
+      true
+      (abort_set r = [])
+  done
+
 let test_backend_of_string () =
   List.iter
     (fun name ->
@@ -123,6 +200,10 @@ let () =
          Alcotest.test_case "socket detects deviation" `Quick
            test_socket_detects_deviation;
          Alcotest.test_case "socket disclosure fallback" `Slow
-           test_socket_disclosure_fallback ]);
+           test_socket_disclosure_fallback;
+         Alcotest.test_case "fault parity across backends" `Slow
+           test_fault_parity;
+         Alcotest.test_case "delayed publication reordering (regression)"
+           `Quick test_delayed_publication_reordering ]);
       ("plumbing",
        [ Alcotest.test_case "backend_of_string" `Quick test_backend_of_string ]) ]

@@ -1,0 +1,154 @@
+(* Frame-layer fuzzing: Dmw_net.Frame.decode must be total on
+   adversarial byte streams — truncated, oversized and bit-flipped
+   frames produce typed errors (or garbage payloads that the next
+   layer, Codec.decode, rejects as a value); nothing ever raises,
+   hangs, or reads beyond the declared region. *)
+
+open Dmw_net
+open Dmw_core
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic example-based cases                                   *)
+(* ------------------------------------------------------------------ *)
+
+let frame_of_string s = Frame.encode ~src:1 ~dst:2 s
+
+let test_roundtrip () =
+  List.iter
+    (fun payload ->
+      let b = Frame.encode ~src:7 ~dst:0xfffe payload in
+      match Frame.decode b with
+      | Ok { Frame.src; dst; payload = p; size } ->
+          Alcotest.(check int) "src" 7 src;
+          Alcotest.(check int) "dst" 0xfffe dst;
+          Alcotest.(check string) "payload" payload p;
+          Alcotest.(check int) "size" (Bytes.length b) size
+      | Error e -> Alcotest.failf "roundtrip failed: %s" (Frame.error_to_string e))
+    [ ""; "x"; String.make 1000 '\x00'; String.init 256 Char.chr ]
+
+let test_every_truncation_is_typed () =
+  let b = frame_of_string "hello, auction" in
+  for len = 0 to Bytes.length b - 1 do
+    match Frame.decode b ~len with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes decoded" len
+    | Error (Frame.Truncated { have; need }) ->
+        Alcotest.(check int) "have" len have;
+        Alcotest.(check bool) "need > have" true (need > have)
+    | Error e ->
+        Alcotest.failf "truncation to %d: unexpected %s" len
+          (Frame.error_to_string e)
+  done
+
+let test_oversized_rejected () =
+  let b = frame_of_string "" in
+  Bytes.set_int32_be b 4 (Int32.of_int (Frame.max_payload + 1));
+  (match Frame.decode b with
+  | Error (Frame.Oversized { declared }) ->
+      Alcotest.(check int) "declared" (Frame.max_payload + 1) declared
+  | Ok _ | Error _ -> Alcotest.fail "oversized length accepted");
+  (* A length with the sign bit of the u32 set reads back negative. *)
+  Bytes.set_int32_be b 4 0x80000001l;
+  match Frame.decode b with
+  | Error (Frame.Negative_length { declared }) ->
+      Alcotest.(check bool) "negative" true (declared < 0)
+  | Ok _ | Error _ -> Alcotest.fail "negative length accepted"
+
+let test_trailing_bytes_ignored () =
+  (* Streaming: decode consumes exactly one frame and reports its
+     size, leaving the next frame in place. *)
+  let a = Frame.encode ~src:1 ~dst:2 "first" in
+  let b = Frame.encode ~src:3 ~dst:4 "second" in
+  let buf = Bytes.cat a b in
+  match Frame.decode buf with
+  | Ok { Frame.payload; size; _ } ->
+      Alcotest.(check string) "first" "first" payload;
+      (match Frame.decode buf ~pos:size with
+      | Ok { Frame.src; payload; _ } ->
+          Alcotest.(check int) "second src" 3 src;
+          Alcotest.(check string) "second" "second" payload
+      | Error e -> Alcotest.failf "second frame: %s" (Frame.error_to_string e))
+  | Error e -> Alcotest.failf "first frame: %s" (Frame.error_to_string e)
+
+let test_bad_region_is_caller_bug () =
+  let b = frame_of_string "x" in
+  List.iter
+    (fun (pos, len) ->
+      match Frame.decode b ~pos ~len with
+      | exception Invalid_argument _ -> ()
+      | Ok _ | Error _ -> Alcotest.failf "region (%d, %d) accepted" pos len)
+    [ (-1, 4); (0, -1); (0, Bytes.length b + 1); (Bytes.length b, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Property-based fuzzing                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Total on random garbage: any byte string yields a value. *)
+let prop_decode_total =
+  QCheck.Test.make ~count:2000 ~name:"decode total on random bytes"
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      match Frame.decode (Bytes.of_string s) with
+      | Ok { Frame.size; _ } -> size <= String.length s
+      | Error _ -> true)
+
+(* Bit-flipped frames: flip one bit anywhere in a valid frame; decode
+   must stay total, and when it still yields a payload, Codec.decode
+   on that payload must also be total (typed error, not an
+   exception). *)
+let prop_bit_flip_never_raises =
+  let gen =
+    QCheck.(pair (string_of_size Gen.(0 -- 48)) (pair small_nat small_nat))
+  in
+  QCheck.Test.make ~count:2000 ~name:"single bit flip yields typed outcome" gen
+    (fun (payload, (byte_choice, bit)) ->
+      let msg = Messages.Payment_report { payments = [| 1.0; 2.0 |] } in
+      let wire = if payload = "" then Codec.encode msg else payload in
+      let b = Frame.encode ~src:5 ~dst:6 wire in
+      let i = byte_choice mod Bytes.length b in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+      match Frame.decode b with
+      | Error (Frame.Truncated _ | Frame.Oversized _ | Frame.Negative_length _)
+        ->
+          true
+      | Ok { Frame.payload = p; _ } -> (
+          match Codec.decode p with Ok _ | Error _ -> true))
+
+(* Random split points: feeding a valid frame in two chunks through
+   the Truncated protocol always reassembles to the same frame. *)
+let prop_streaming_reassembly =
+  QCheck.Test.make ~count:500 ~name:"chunked delivery reassembles"
+    QCheck.(pair (string_of_size Gen.(0 -- 64)) small_nat)
+    (fun (payload, cut) ->
+      let b = Frame.encode ~src:9 ~dst:1 payload in
+      let cut = cut mod (Bytes.length b + 1) in
+      match Frame.decode b ~len:cut with
+      | Ok { Frame.payload = p; _ } ->
+          (* Only possible when the cut covers the whole frame. *)
+          cut = Bytes.length b && String.equal p payload
+      | Error (Frame.Truncated { need; _ }) ->
+          need <= Bytes.length b
+          &&
+          (match Frame.decode b ~len:need with
+          | Ok { Frame.payload = p; _ } ->
+              String.equal p payload || need < Bytes.length b
+          | Error (Frame.Truncated _) -> true
+          | Error _ -> false)
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "dmw_frame_fuzz"
+    [ ("frame",
+       [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+         Alcotest.test_case "every truncation typed" `Quick
+           test_every_truncation_is_typed;
+         Alcotest.test_case "oversized and negative" `Quick
+           test_oversized_rejected;
+         Alcotest.test_case "streaming positions" `Quick
+           test_trailing_bytes_ignored;
+         Alcotest.test_case "bad region raises" `Quick
+           test_bad_region_is_caller_bug ]);
+      ("fuzz",
+       [ QCheck_alcotest.to_alcotest prop_decode_total;
+         QCheck_alcotest.to_alcotest prop_bit_flip_never_raises;
+         QCheck_alcotest.to_alcotest prop_streaming_reassembly ]) ]

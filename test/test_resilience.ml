@@ -160,9 +160,112 @@ let test_subset_resolution_unit () =
     (Exponent_resolution.resolve_present group ~points ~elements:few
        ~candidates:[ 4 ])
 
+(* ------------------------------------------------------------------ *)
+(* Golden fault-trace vectors: each JSON file under vectors/ pins the
+   complete outcome of one canonical fault scenario — completion,
+   schedule, prices, payments and the audited abort set. Replaying
+   them catches any drift in the fault layer's deterministic coins,
+   the watchdog's diagnosis, or the degradation semantics. *)
+
+(* Resolve the data file both under `dune runtest` (cwd = test dir)
+   and `dune exec` from the project root. *)
+let resolve name =
+  let candidates =
+    [ Filename.concat "vectors" name;
+      Filename.concat "test/vectors" name;
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        (Filename.concat "vectors" name) ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+let replay_vector name () =
+  let open Test_support.Json in
+  let path = resolve name in
+  let v = of_file path in
+  let p = member "params" v in
+  let params =
+    Params.make_exn
+      ~group_bits:(to_int (member "group_bits" p))
+      ~seed:(to_int (member "param_seed" p))
+      ~n:(to_int (member "n" p))
+      ~m:(to_int (member "m" p))
+      ~c:(to_int (member "c" p))
+      ~w_max:(to_int (member "w_max" p))
+      ()
+  in
+  let bids =
+    Array.of_list (List.map to_int_array (to_list (member "bids" v)))
+  in
+  let seed = to_int (member "seed" v) in
+  let faults =
+    match Dmw_sim.Fault.of_string (to_string (member "faults" v)) with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "%s: bad fault spec: %s" path e
+  in
+  let expected = member "expected" v in
+  let r = Dmw_exec.run ~seed ~faults ~keep_events:false params ~bids in
+  Alcotest.(check bool) "completed" (to_bool (member "completed" expected))
+    (Dmw_exec.completed r);
+  Alcotest.(check int) "attempts" (to_int (member "attempts" expected))
+    r.Dmw_exec.attempts;
+  let int_array_or_null label golden actual =
+    match (golden, actual) with
+    | Null, None -> ()
+    | Null, Some _ -> Alcotest.failf "%s: expected null" label
+    | golden, Some a ->
+        Alcotest.(check (array int)) label (to_int_array golden) a
+    | _, None -> Alcotest.failf "%s: expected a value" label
+  in
+  int_array_or_null "schedule" (member "schedule" expected)
+    (Option.map Dmw_mechanism.Schedule.assignment r.Dmw_exec.schedule);
+  int_array_or_null "first prices" (member "first_prices" expected)
+    r.Dmw_exec.first_prices;
+  int_array_or_null "second prices" (member "second_prices" expected)
+    r.Dmw_exec.second_prices;
+  let golden_payments = Array.of_list (to_list (member "payments" expected)) in
+  Alcotest.(check int) "payment count" (Array.length golden_payments)
+    (Array.length r.Dmw_exec.payments);
+  Array.iteri
+    (fun i golden ->
+      let label = Printf.sprintf "payment %d" i in
+      match (golden, r.Dmw_exec.payments.(i)) with
+      | Null, None -> ()
+      | Num g, Some a -> Alcotest.(check (float 0.0)) label g a
+      | Num _, None -> Alcotest.failf "%s withheld" label
+      | Null, Some _ -> Alcotest.failf "%s unexpectedly issued" label
+      | _ -> Alcotest.failf "%s: malformed golden entry" label)
+    golden_payments;
+  let actual_aborts =
+    Array.to_list r.Dmw_exec.statuses
+    |> List.filter_map (fun (s : Dmw_exec.agent_status) ->
+           Option.map
+             (fun reason ->
+               (s.Dmw_exec.agent,
+                Format.asprintf "%a" Audit.pp_reason reason))
+             s.Dmw_exec.aborted)
+  in
+  let golden_aborts =
+    to_list (member "aborts" expected)
+    |> List.map (fun a ->
+           (to_int (member "agent" a), to_string (member "reason" a)))
+  in
+  Alcotest.(check (list (pair int string))) "abort set" golden_aborts
+    actual_aborts
+
+let vector_cases =
+  [ "fault_crash_phase3.json";
+    "fault_lossy_resolution.json";
+    "fault_beyond_headroom.json" ]
+  |> List.map (fun name ->
+         Alcotest.test_case name `Quick (replay_vector name))
+
 let () =
   Alcotest.run "dmw_resilience"
-    [ ("crash tolerance",
+    [ ("golden fault vectors", vector_cases);
+      ("crash tolerance",
        [ Alcotest.test_case "headroom accounting" `Quick test_headroom_accessor;
          Alcotest.test_case "baseline" `Quick test_no_crash_baseline;
          Alcotest.test_case "one crash" `Quick test_one_crash_completes;

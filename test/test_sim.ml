@@ -130,12 +130,68 @@ let test_fault_compose () =
   Alcotest.(check bool) "neither" true (Fault.allows f ~time:0.0 ~src:1 ~dst:2 ~tag:"x")
 
 let test_fault_drop_random_all_or_nothing () =
-  let f0 = Fault.drop_random ~probability:0.0 ~seed:1 in
-  let f1 = Fault.drop_random ~probability:1.0 ~seed:1 in
-  for _ = 1 to 20 do
-    Alcotest.(check bool) "p=0 allows" true (Fault.allows f0 ~time:0.0 ~src:0 ~dst:1 ~tag:"x");
-    Alcotest.(check bool) "p=1 drops" false (Fault.allows f1 ~time:0.0 ~src:0 ~dst:1 ~tag:"x")
+  let i0 = Fault.instantiate (Fault.drop_random ~probability:0.0) ~seed:1 in
+  let i1 = Fault.instantiate (Fault.drop_random ~probability:1.0) ~seed:1 in
+  for k = 1 to 20 do
+    let d0 = Fault.decide i0 ~elapsed:0.0 ~src:0 ~dst:1 ~tag:"x" ~key:k () in
+    let d1 = Fault.decide i1 ~elapsed:0.0 ~src:0 ~dst:1 ~tag:"x" ~key:k () in
+    Alcotest.(check bool) "p=0 allows" false d0.Fault.drop;
+    Alcotest.(check bool) "p=1 drops" true d1.Fault.drop
   done
+
+(* Regression: drop_random coins come from the run's master-PRNG
+   convention (the instantiation seed), not an ad-hoc per-policy seed.
+   Same seed ⇒ the same messages are lost; different seeds ⇒ a
+   different loss pattern; and the verdict for one message identity is
+   a pure function (asking twice gives the same answer, in any order). *)
+let test_fault_drop_random_master_seed () =
+  let spec = Fault.drop_random ~probability:0.5 in
+  let sample seed =
+    let i = Fault.instantiate spec ~seed in
+    List.init 64 (fun k ->
+        (Fault.decide i ~elapsed:0.0 ~src:(k mod 3) ~dst:2 ~tag:"share" ~key:k
+           ())
+          .Fault.drop)
+  in
+  Alcotest.(check (list bool)) "same seed, same losses" (sample 7) (sample 7);
+  Alcotest.(check bool) "different seed, different losses" true
+    (sample 7 <> sample 8);
+  (* Purity / order-independence: interleaving queries does not shift
+     the coins (this is what makes the concurrent backends agree with
+     the simulator message for message). *)
+  let i = Fault.instantiate spec ~seed:7 in
+  let forward =
+    List.init 32 (fun k ->
+        (Fault.decide i ~elapsed:0.0 ~src:0 ~dst:1 ~tag:"share" ~key:k ())
+          .Fault.drop)
+  in
+  let i' = Fault.instantiate spec ~seed:7 in
+  let backward =
+    List.rev
+      (List.init 32 (fun j ->
+           let k = 31 - j in
+           (Fault.decide i' ~elapsed:0.0 ~src:0 ~dst:1 ~tag:"share" ~key:k ())
+             .Fault.drop))
+  in
+  Alcotest.(check (list bool)) "order-independent" forward backward;
+  (* End to end: the sim engine derives the instance seed from the run
+     seed, so two engines with equal seeds lose the same messages and
+     the whole run replays identically. *)
+  let run seed =
+    let p = Dmw_core.Params.make_exn ~group_bits:64 ~seed:3 ~n:4 ~m:1 ~c:1 () in
+    let r =
+      Dmw_exec.run ~seed ~faults:(Fault.drop_random ~probability:0.6) p
+        ~bids:[| [| 2 |]; [| 1 |]; [| 2 |]; [| 2 |] |]
+    in
+    ( Dmw_exec.completed r,
+      Dmw_sim.Trace.messages r.Dmw_exec.trace,
+      Array.map
+        (fun (s : Dmw_exec.agent_status) -> s.Dmw_exec.aborted)
+        r.Dmw_exec.statuses )
+  in
+  Alcotest.(check bool) "same run seed, same run" true (run 11 = run 11);
+  Alcotest.(check bool) "seed reaches the fault coins" true
+    (run 11 <> run 12 || run 13 <> run 14)
 
 (* ------------------------------------------------------------------ *)
 (* Latency models                                                      *)
@@ -369,7 +425,9 @@ let () =
          Alcotest.test_case "drop link" `Quick test_fault_drop_link;
          Alcotest.test_case "drop tagged" `Quick test_fault_drop_tagged;
          Alcotest.test_case "compose" `Quick test_fault_compose;
-         Alcotest.test_case "random extremes" `Quick test_fault_drop_random_all_or_nothing ]);
+         Alcotest.test_case "random extremes" `Quick test_fault_drop_random_all_or_nothing;
+         Alcotest.test_case "master-seed convention" `Quick
+           test_fault_drop_random_master_seed ]);
       ("latency",
        [ Alcotest.test_case "constant" `Quick test_latency_constant;
          Alcotest.test_case "uniform" `Quick test_latency_uniform_bounds_and_stability;
