@@ -40,9 +40,13 @@ let table1_communication () =
     let p = make_params ~n ~m () in
     let rng = Prng.create ~seed:(n * 131 + m) in
     let bids = uniform_bids rng p in
-    let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
-    assert (Dmw_exec.completed r);
-    (Trace.messages r.Dmw_exec.trace, Trace.bytes r.Dmw_exec.trace)
+    let (), row =
+      Report.measure ~experiment:"table1_communication" ~backend:"sim" ~n ~m
+        (fun () ->
+          let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
+          assert (Dmw_exec.completed r))
+    in
+    (row.Report.msgs, row.Report.bytes)
   in
   (* MinWork's centralized cost model (Theorem 11 remark): each agent
      sends its m bid values to the center, the center returns the m
@@ -400,17 +404,21 @@ let batching_ablation () =
       let p = make_params ~n ~m () in
       let rng = Prng.create ~seed:(100 + m) in
       let bids = uniform_bids rng p in
-      let plain = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
-      let batched =
-        Dmw_exec.run ~seed:5 p ~bids ~keep_events:false ~batching:true
+      let plain, prow =
+        Report.measure ~experiment:"batching_ablation" ~backend:"sim" ~n ~m
+          (fun () -> Dmw_exec.run ~seed:5 p ~bids ~keep_events:false)
+      in
+      let batched, brow =
+        Report.measure ~experiment:"batching_ablation_batched" ~backend:"sim"
+          ~n ~m
+          (fun () -> Dmw_exec.run ~seed:5 p ~bids ~keep_events:false ~batching:true)
       in
       assert (Dmw_exec.completed plain && Dmw_exec.completed batched);
-      let pm = Trace.messages plain.Dmw_exec.trace in
-      let bm = Trace.messages batched.Dmw_exec.trace in
+      let pm = prow.Report.msgs in
+      let bm = brow.Report.msgs in
       Printf.printf "%4d %12d %12d %8.2f %14d %14d\n%!" m pm bm
         (float_of_int pm /. float_of_int bm)
-        (Trace.bytes plain.Dmw_exec.trace)
-        (Trace.bytes batched.Dmw_exec.trace))
+        prow.Report.bytes brow.Report.bytes)
     [ 1; 2; 4; 8; 16 ]
 
 (* ------------------------------------------------------------------ *)
@@ -480,9 +488,11 @@ let completion_time () =
       let rng = Prng.create ~seed:(n + 3) in
       let bids = uniform_bids rng p in
       let time ?bandwidth latency =
-        let r =
-          Dmw_exec.run ~seed:5 p ~bids ~keep_events:false
-            ~backend:(Dmw_exec.sim ~latency ?bandwidth ())
+        let r, _ =
+          Report.measure ~experiment:"completion_time" ~backend:"sim" ~n ~m:2
+            (fun () ->
+              Dmw_exec.run ~seed:5 p ~bids ~keep_events:false
+                ~backend:(Dmw_exec.sim ~latency ?bandwidth ()))
         in
         assert (Dmw_exec.completed r);
         r.Dmw_exec.duration
@@ -518,7 +528,10 @@ let baseline_comparison () =
       let rng = Prng.create ~seed:(n * 7) in
       let bids = uniform_bids rng p in
       let cb = Dmw_center.run ~n ~m:2 ~c:1 bids in
-      let dmw = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
+      let dmw, drow =
+        Report.measure ~experiment:"baseline_comparison" ~backend:"sim" ~n ~m:2
+          (fun () -> Dmw_exec.run ~seed:5 p ~bids ~keep_events:false)
+      in
       assert (Dmw_exec.completed dmw && Option.is_some cb.Dmw_center.schedule);
       (* Same allocation up to tie-breaking conventions; verify where
          there are no ties by checking payments totals coincide for
@@ -527,8 +540,7 @@ let baseline_comparison () =
       Printf.printf "%4d | %12d %12d | %12d %12d\n%!" n
         (Trace.messages cb.Dmw_center.trace)
         (Trace.bytes cb.Dmw_center.trace)
-        (Trace.messages dmw.Dmw_exec.trace)
-        (Trace.bytes dmw.Dmw_exec.trace))
+        drow.Report.msgs drow.Report.bytes)
     [ 4; 8; 12; 16 ];
   Printf.printf
     "\nWhat the factor-n message overhead buys (measured in the test\n\
@@ -717,9 +729,12 @@ let backend_matrix () =
   let reference = ref None in
   List.iter
     (fun backend ->
-      let t0 = Unix.gettimeofday () in
-      let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false ~backend in
-      let wall = Unix.gettimeofday () -. t0 in
+      let r, row =
+        Report.measure ~experiment:"backend_matrix"
+          ~backend:(Dmw_exec.backend_name backend) ~n:p.Params.n ~m:p.Params.m
+          (fun () -> Dmw_exec.run ~seed:5 p ~bids ~keep_events:false ~backend)
+      in
+      let wall = float_of_int row.Report.wall_ns *. 1e-9 in
       let agree =
         match !reference with
         | None ->
@@ -733,9 +748,7 @@ let backend_matrix () =
       in
       Printf.printf "%-10s %10d %12d %12.3f %12s\n%!"
         (Dmw_exec.backend_name backend)
-        (Trace.messages r.Dmw_exec.trace)
-        (Trace.bytes r.Dmw_exec.trace)
-        wall
+        row.Report.msgs row.Report.bytes wall
         (if not (Dmw_exec.completed r) then "FAILED"
          else if agree then "ok"
          else "MISMATCH (!)"))
@@ -786,12 +799,15 @@ let fault_matrix () =
       let reference = ref None in
       List.iter
         (fun backend ->
-          let t0 = Unix.gettimeofday () in
-          let r =
-            Dmw_exec.run ~seed:5 p ~bids ~keep_events:false ?faults ~retries
-              ~backend
+          let r, row =
+            Report.measure ~experiment:("fault_matrix/" ^ name)
+              ~backend:(Dmw_exec.backend_name backend) ~n:p.Params.n
+              ~m:p.Params.m
+              (fun () ->
+                Dmw_exec.run ~seed:5 p ~bids ~keep_events:false ?faults
+                  ~retries ~backend)
           in
-          let wall = Unix.gettimeofday () -. t0 in
+          let wall = float_of_int row.Report.wall_ns *. 1e-9 in
           let outcome =
             ( Dmw_exec.completed r,
               r.Dmw_exec.schedule,
@@ -818,8 +834,7 @@ let fault_matrix () =
           in
           Printf.printf "%-20s %-8s %10d %10.3f %9d %-10s %s\n%!" name
             (Dmw_exec.backend_name backend)
-            (Trace.messages r.Dmw_exec.trace)
-            wall r.Dmw_exec.attempts status
+            row.Report.msgs wall r.Dmw_exec.attempts status
             (if agree then "yes" else "NO (!)"))
         [ Dmw_exec.sim (); Dmw_exec.threads (); Dmw_exec.socket () ])
     scenarios;
@@ -836,17 +851,17 @@ let scale_stress () =
   let p = make_params ~n:32 ~m:4 () in
   let rng = Prng.create ~seed:321 in
   let bids = uniform_bids rng p in
-  let t0 = Unix.gettimeofday () in
-  let r = Dmw_exec.run ~seed:5 p ~bids ~keep_events:false in
-  let dt = Unix.gettimeofday () -. t0 in
+  let r, row =
+    Report.measure ~experiment:"scale_stress" ~backend:"sim" ~n:32 ~m:4
+      (fun () -> Dmw_exec.run ~seed:5 p ~bids ~keep_events:false)
+  in
+  let dt = float_of_int row.Report.wall_ns *. 1e-9 in
   assert (Dmw_exec.completed r);
   Printf.printf
     "\ncompleted: %d messages, %d bytes, %.2f s wall (%.0f msg/s), every\n\
      agent ran %d+ verification checks.\n"
-    (Trace.messages r.Dmw_exec.trace)
-    (Trace.bytes r.Dmw_exec.trace)
-    dt
-    (float_of_int (Trace.messages r.Dmw_exec.trace) /. dt)
+    row.Report.msgs row.Report.bytes dt
+    (float_of_int row.Report.msgs /. dt)
     (Array.fold_left
        (fun acc (s : Dmw_exec.agent_status) -> min acc s.Dmw_exec.checks_performed)
        max_int r.Dmw_exec.statuses)
@@ -895,4 +910,5 @@ let () =
             (String.concat ", " (List.map fst all));
           exit 1)
     requested;
+  Report.flush ();
   Printf.printf "\nall experiments finished in %.1f s\n" (Unix.gettimeofday () -. t0)

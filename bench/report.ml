@@ -1,0 +1,61 @@
+(* Machine-readable bench accounting. Every experiment that used to
+   count messages and bytes by hand out of its own trace now wraps the
+   run in [measure], which turns observability on, reads the Dmw_obs
+   counters afterwards, and accumulates one row per run. [flush]
+   writes the rows as one JSON array — BENCH_5.json — in the standard
+   schema: experiment, backend, n, m, msgs, bytes, modexps, wall_ns. *)
+
+module Metrics = Dmw_obs.Metrics
+
+type row = {
+  experiment : string;
+  backend : string;
+  n : int;
+  m : int;
+  msgs : int;
+  bytes : int;
+  modexps : int;
+  wall_ns : int;
+}
+
+let rows : row list ref = ref []
+
+(* Sum of a counter over every label set it was recorded under. *)
+let counter_total name =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Metrics.Counter { name = n'; value; _ } when String.equal n' name ->
+          acc + value
+      | _ -> acc)
+    0 (Metrics.samples ())
+
+let measure ~experiment ~backend ~n ~m f =
+  Metrics.reset ();
+  Dmw_obs.Span.reset ();
+  Metrics.enable ();
+  let t0 = Unix.gettimeofday () in
+  let result = Fun.protect ~finally:Metrics.disable f in
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  let row =
+    { experiment; backend; n; m;
+      msgs = counter_total "dmw_messages_total";
+      bytes = counter_total "dmw_bytes_total";
+      modexps = counter_total "dmw_modexp_total";
+      wall_ns }
+  in
+  rows := row :: !rows;
+  (result, row)
+
+let flush ?(path = "BENCH_5.json") () =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc "[";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "%s\n  {\"experiment\":%S,\"backend\":%S,\"n\":%d,\"m\":%d,\"msgs\":%d,\"bytes\":%d,\"modexps\":%d,\"wall_ns\":%d}"
+        (if i = 0 then "" else ",")
+        r.experiment r.backend r.n r.m r.msgs r.bytes r.modexps r.wall_ns)
+    (List.rev !rows);
+  output_string oc "\n]\n";
+  Printf.printf "\nwrote %d bench rows to %s\n" (List.length !rows) path

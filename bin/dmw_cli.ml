@@ -148,8 +148,16 @@ let run_cmd =
                    sigma = W + c + 1 shares, so re-auctioning can shed \
                    silent agents and still complete.")
   in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"PATH"
+             ~doc:"Enable observability and write a run report to PATH: \
+                   Prometheus text when PATH ends in .prom, JSON-lines \
+                   otherwise (counters, gauges, histograms, then the \
+                   run > auction > phase span tree).")
+  in
   let run n m c seed group_bits workload deviant strategy quiet batching verbose
-      backend timeout hardened faults retries w_max =
+      backend timeout hardened faults retries w_max metrics =
     setup_logs verbose;
     let params = make_params ?w_max ~group_bits ~seed ~n ~m ~c () in
     let rng = Prng.create ~seed in
@@ -178,6 +186,7 @@ let run_cmd =
       | `Threads -> Dmw_exec.threads ~timeout ()
       | `Socket -> Dmw_exec.socket ~timeout ()
     in
+    if Option.is_some metrics then Dmw_obs.Metrics.enable ();
     let result =
       Dmw_exec.run ~strategies ~seed ~batching ~hardened ?faults ~retries
         ~backend params ~bids
@@ -189,6 +198,23 @@ let run_cmd =
         ~tie_break:(Dmw_mechanism.Vickrey.Least_key (fun i -> rank.(i)))
         (Array.map (Array.map float_of_int) bids)
     in
+    Dmw_mechanism.Metrics.record_obs instance mw;
+    (match metrics with
+    | None -> ()
+    | Some path ->
+        let report =
+          if Filename.check_suffix path ".prom" then Dmw_obs.Export.prometheus ()
+          else
+            Dmw_obs.Export.json_lines
+              ~meta:
+                [ ("backend", Dmw_exec.backend_name backend);
+                  ("n", string_of_int n); ("m", string_of_int m);
+                  ("seed", string_of_int seed) ]
+              ()
+        in
+        Dmw_obs.Export.write_file ~path report;
+        Dmw_obs.Metrics.disable ();
+        if not quiet then Format.printf "metrics report written to %s@." path);
     (match result.Dmw_exec.schedule with
     | Some s ->
         let times = Dmw_mechanism.Instance.times instance in
@@ -201,7 +227,7 @@ let run_cmd =
   let term =
     Term.(const run $ n_arg $ m_arg $ c_arg $ seed_arg $ bits_arg $ workload
           $ deviant $ strategy $ quiet $ batching $ verbose $ backend $ timeout
-          $ hardened $ faults $ retries $ w_max)
+          $ hardened $ faults $ retries $ w_max $ metrics)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the distributed mechanism on a generated instance.")

@@ -3,6 +3,7 @@ open Dmw_poly
 
 let test group ~points ~elements ~candidate =
   if candidate < 0 then invalid_arg "Exponent_resolution.test: negative candidate";
+  Dmw_obs.Metrics.bump "dmw_resolution_tests_total" 1;
   let s = candidate + 1 in
   if s > Array.length points || s > Array.length elements then
     invalid_arg "Exponent_resolution.test: not enough points";

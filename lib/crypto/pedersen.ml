@@ -3,7 +3,9 @@ open Dmw_modular
 
 type t = Bigint.t
 
-let commit g ~value ~blinding = Group.commit g value blinding
+let commit g ~value ~blinding =
+  Dmw_obs.Metrics.bump "dmw_commitments_total" 1;
+  Group.commit g value blinding
 let verify g c ~value ~blinding = Bigint.equal c (commit g ~value ~blinding)
 let blind_only g ~blinding = Group.pow g g.Group.z2 blinding
 let mul g a b = Group.mul g a b

@@ -39,6 +39,132 @@ type result = {
 type info = { trace : Trace.t; duration : float }
 
 (* ------------------------------------------------------------------ *)
+(* Observability at the transport boundary                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Counters and the span tree (run > task auction > phase) for one
+   protocol attempt. Counting happens where the backends already
+   account their traces — the send/receive boundary — so the obs
+   numbers agree with Trace on every backend. The aggregation state is
+   module-global like the Dmw_obs registry itself: one instrumented
+   run at a time, reset by [run_attempt]. *)
+module Obs = struct
+  module Metrics = Dmw_obs.Metrics
+  module Span = Dmw_obs.Span
+
+  (* Which phase of an auction a message tag belongs to. *)
+  let phase_of_tag = function
+    | "share" -> "share"
+    | "commitments" -> "commit"
+    | "lambda_psi" | "f_disclosure" | "f_disclosure_hardened"
+    | "lambda_psi_excl" ->
+        "resolve"
+    | "payment_report" -> "payment"
+    | tag -> tag (* batch envelopes and future tags group as themselves *)
+
+  type cell = { mutable t0 : float; mutable t1 : float }
+
+  let cells : (int option * string, cell) Hashtbl.t = Hashtbl.create 16
+  let cells_lock = Mutex.create ()
+
+  let reset () = Mutex_util.with_lock cells_lock (fun () -> Hashtbl.reset cells)
+
+  let note ~task ~tag ~now =
+    Mutex_util.with_lock cells_lock (fun () ->
+        let key = (task, phase_of_tag tag) in
+        match Hashtbl.find_opt cells key with
+        | Some c ->
+            if now < c.t0 then c.t0 <- now;
+            if now > c.t1 then c.t1 <- now
+        | None -> Hashtbl.add cells key { t0 = now; t1 = now })
+
+  (* Wrap a transport so every send is counted and timestamped. The
+     identity short-circuit keeps uninstrumented runs at zero cost
+     beyond the construction-time branch. *)
+  let transport ~backend ~now ~src (base : Agent.transport) =
+    if not (Metrics.enabled ()) then base
+    else
+      { Agent.send =
+          (fun ~dst ~tag ~bytes msg ->
+            let labels = [ ("backend", backend); ("tag", tag) ] in
+            Metrics.bump ~labels "dmw_messages_total" 1;
+            Metrics.bump ~labels "dmw_bytes_total" bytes;
+            Metrics.bump
+              ~labels:[ ("backend", backend); ("agent", string_of_int src) ]
+              "dmw_agent_messages_total" 1;
+            Metrics.observe
+              ~labels:[ ("backend", backend) ]
+              "dmw_message_size_bytes" (float_of_int bytes);
+            note ~task:(Messages.task msg) ~tag ~now:(now ());
+            base.Agent.send ~dst ~tag ~bytes msg);
+        schedule = base.Agent.schedule }
+
+  let recv ~backend =
+    Metrics.bump ~labels:[ ("backend", backend) ] "dmw_recv_total" 1
+
+  (* Materialize the aggregated span tree for the finished attempt. *)
+  let emit ~backend =
+    if Metrics.enabled () then begin
+      let entries =
+        Mutex_util.with_lock cells_lock (fun () ->
+            Hashtbl.fold (fun k c acc -> (k, c.t0, c.t1) :: acc) cells [])
+      in
+      match entries with
+      | [] -> ()
+      | _ :: _ ->
+          let t0 =
+            List.fold_left (fun acc (_, a, _) -> Float.min acc a) infinity
+              entries
+          and t1 =
+            List.fold_left (fun acc (_, _, b) -> Float.max acc b) neg_infinity
+              entries
+          in
+          let attrs = [ ("backend", backend) ] in
+          let run_id = Span.emit ~attrs ~name:"run" ~t_start:t0 ~t_stop:t1 () in
+          let tasks =
+            List.sort_uniq Int.compare
+              (List.filter_map
+                 (fun ((task, _), _, _) -> task)
+                 entries)
+          in
+          List.iter
+            (fun task ->
+              let mine =
+                List.filter (fun ((t, _), _, _) -> t = Some task) entries
+              in
+              let a0 =
+                List.fold_left (fun acc (_, a, _) -> Float.min acc a) infinity
+                  mine
+              and a1 =
+                List.fold_left
+                  (fun acc (_, _, b) -> Float.max acc b)
+                  neg_infinity mine
+              in
+              let attrs = ("task", string_of_int task) :: attrs in
+              let auction =
+                Span.emit ~parent:run_id ~attrs ~name:"task auction"
+                  ~t_start:a0 ~t_stop:a1 ()
+              in
+              List.iter
+                (fun ((_, phase), p0, p1) ->
+                  ignore
+                    (Span.emit ~parent:auction ~attrs ~name:phase ~t_start:p0
+                       ~t_stop:p1 ()))
+                mine)
+            tasks;
+          (* Taskless activity — payment reports, batch envelopes —
+             hangs directly off the run span. *)
+          List.iter
+            (fun ((task, phase), p0, p1) ->
+              if task = None then
+                ignore
+                  (Span.emit ~parent:run_id ~attrs ~name:phase ~t_start:p0
+                     ~t_stop:p1 ()))
+            entries
+    end
+end
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection at the send boundary                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -66,6 +192,15 @@ let apply_faults plan ~now ~src (base : Agent.transport) =
             Fault.decide plan.faults ~elapsed:(now ()) ~src ~dst ~tag ~key
               ~attempt ()
           in
+          if attempt > 0 then Obs.Metrics.bump "dmw_retransmissions_total" 1;
+          Obs.Metrics.bump
+            ~labels:
+              [ ( "verdict",
+                  if verdict.Fault.drop then "drop"
+                  else if verdict.Fault.copies > 0 then "duplicate"
+                  else if verdict.Fault.delay > 0.0 then "delay"
+                  else "clean" ) ]
+            "dmw_fault_verdicts_total" 1;
           if not verdict.Fault.drop then begin
             let deliver () = base.Agent.send ~dst ~tag ~bytes msg in
             let delay =
@@ -133,15 +268,16 @@ module Sim_backend = struct
         ?bandwidth:cfg.bandwidth ?jitter:cfg.jitter ?duplicate:cfg.duplicate
         ~nodes:(n + 1) ()
     in
+    let now () = Engine.now eng in
     let transports =
       Array.init n (fun i ->
-          maybe_faults faults
-            ~now:(fun () -> Engine.now eng)
-            ~src:i
-            (Agent.transport_of_engine eng ~id:i))
+          maybe_faults faults ~now ~src:i
+            (Obs.transport ~backend:name ~now ~src:i
+               (Agent.transport_of_engine eng ~id:i)))
     in
     for i = 0 to n - 1 do
       Engine.on_message eng ~node:i (fun _ d ->
+          Obs.recv ~backend:name;
           Agent.handle transports.(i) agents.(i) ~src:d.Engine.src
             d.Engine.payload)
     done;
@@ -250,11 +386,11 @@ module Thread_backend = struct
     let boxes = Array.init n (fun _ -> Mailbox.create ()) in
     let reports : (int * float array) Mailbox.t = Mailbox.create () in
     let timer = Timer.create () in
+    let now () = Unix.gettimeofday () -. t0 in
     let transports =
       Array.init n (fun i ->
-          maybe_faults faults
-            ~now:(fun () -> Unix.gettimeofday () -. t0)
-            ~src:i
+          maybe_faults faults ~now ~src:i
+            (Obs.transport ~backend:name ~now ~src:i
             { Agent.send =
                 (fun ~dst ~tag ~bytes msg ->
                   record ~src:i ~dst ~tag ~bytes;
@@ -274,7 +410,7 @@ module Thread_backend = struct
                   (* Ticks route through the agent's own mailbox so all
                      agent mutations stay on its thread. *)
                   Timer.schedule timer ~delay (fun () ->
-                      Mailbox.push boxes.(i) (Act f))) })
+                      Mailbox.push boxes.(i) (Act f))) }))
     in
     let worker i =
       Agent.start transports.(i) agents.(i);
@@ -282,6 +418,7 @@ module Thread_backend = struct
         match Mailbox.pop boxes.(i) with
         | None -> ()
         | Some (Deliver { src; msg }) ->
+            Obs.recv ~backend:name;
             Agent.handle transports.(i) agents.(i) ~src msg;
             loop ()
         | Some (Act f) ->
@@ -316,15 +453,16 @@ module Socket_backend = struct
     (* Endpoints 0..n-1 are the agents; endpoint n is the payment
        infrastructure, driven by this thread. *)
     let fabric = Fabric.create ~endpoints:(n + 1) in
+    let now () = Unix.gettimeofday () -. t0 in
     let threads =
       Array.init n (fun i ->
           Thread.create
             (fun () ->
               Endpoint.run_agent
-                ~wrap:
-                  (maybe_faults faults
-                     ~now:(fun () -> Unix.gettimeofday () -. t0)
-                     ~src:i)
+                ~wrap:(fun base ->
+                  maybe_faults faults ~now ~src:i
+                    (Obs.transport ~backend:name ~now ~src:i base))
+                ~on_recv:(fun ~src:_ -> Obs.recv ~backend:name)
                 ~fd:(Fabric.endpoint_fd fabric i)
                 ~agent:agents.(i)
                 ~on_send:(fun ~dst ~tag ~bytes -> record ~src:i ~dst ~tag ~bytes)
@@ -426,10 +564,15 @@ let run_attempt ~strategies ~seed ~keep_events ~batching ~hardened ~watchdog
   in
   let infra = Payment_infra.create ~n in
   let (Backend ((module B), config)) = backend in
+  Obs.reset ();
   let info =
     B.execute config ~params ~seed ~keep_events ~faults:plan ~agents
       ~report:(fun ~src payments -> Payment_infra.receive infra ~from_:src payments)
   in
+  Obs.emit ~backend:B.name;
+  Obs.Metrics.set
+    ~labels:[ ("backend", B.name) ]
+    "dmw_run_duration_seconds" info.duration;
   Array.iter Agent.finalize_stall agents;
   let statuses =
     Array.map

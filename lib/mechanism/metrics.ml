@@ -17,6 +17,26 @@ let per_task_margin (o : Minwork.outcome) =
     (fun (v : Vickrey.outcome) -> v.Vickrey.price -. v.Vickrey.winning_bid)
     o.Minwork.per_task
 
+(* Publish the mechanism-quality gauges for one outcome to the
+   observability registry: how much the run overpaid (frugality) and
+   how far MinWork's makespan sits from the exact optimum. The branch
+   and bound is exponential, so the optimum — hence the ratio gauge —
+   is only computed on small instances ([max_optimal_n]). *)
+let max_optimal_n = 8
+
+let record_obs instance (o : Minwork.outcome) =
+  if Dmw_obs.Metrics.enabled () then begin
+    Dmw_obs.Metrics.set "dmw_overpayment" (overpayment instance o);
+    Dmw_obs.Metrics.set "dmw_frugality_ratio" (frugality_ratio instance o);
+    let times = Instance.times instance in
+    if Array.length times <= max_optimal_n then begin
+      let _, opt = Optimal.run times in
+      if opt > 0.0 then
+        Dmw_obs.Metrics.set "dmw_makespan_ratio"
+          (Schedule.makespan ~times o.Minwork.schedule /. opt)
+    end
+  end
+
 let competition_gap ~bids ~task =
   let column = Array.map (fun row -> row.(task)) bids in
   Array.sort Float.compare column;

@@ -28,6 +28,12 @@ val per_task_margin : Minwork.outcome -> float array
 (** For each task, [second price − winning bid] — the winner's rent
     from the competition gap. *)
 
+val record_obs : Instance.t -> Minwork.outcome -> unit
+(** Publish quality gauges to {!Dmw_obs.Metrics} (no-op when
+    observability is off): [dmw_overpayment], [dmw_frugality_ratio],
+    and — on instances small enough for the exact branch and bound —
+    [dmw_makespan_ratio], MinWork's makespan over {!Optimal}'s. *)
+
 val competition_gap : bids:float array array -> task:int -> float
 (** [second lowest − lowest] bid for a task: the structural source of
     the margin. *)

@@ -10,7 +10,9 @@ let mod_q g e = Bigint.erem e g.q
 let mul g a b = Zmod.mul g.p a b
 let inv g a = Zmod.inv g.p a
 let div g a b = Zmod.div g.p a b
-let pow g b e = Zmod.pow g.p b (mod_q g e)
+let pow g b e =
+  Dmw_obs.Metrics.bump "dmw_modexp_total" 1;
+  Zmod.pow g.p b (mod_q g e)
 let commit g a b = mul g (pow g g.z1 a) (pow g g.z2 b)
 
 let random_exponent g rng =

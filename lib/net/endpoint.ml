@@ -16,7 +16,8 @@ let insert timers e =
   in
   go timers
 
-let run_agent ?(wrap = Fun.id) ~fd ~(agent : Agent.t) ~on_send () =
+let run_agent ?(wrap = Fun.id) ?(on_recv = fun ~src:_ -> ()) ~fd
+    ~(agent : Agent.t) ~on_send () =
   let timers = ref [] in
   let seq = ref 0 in
   let stopped = ref false in
@@ -60,7 +61,9 @@ let run_agent ?(wrap = Fun.id) ~fd ~(agent : Agent.t) ~on_send () =
                   (* Malformed payloads are dropped, exactly like the
                      agent drops malformed in-memory messages. *)
                   match Codec.decode payload with
-                  | Ok msg -> Agent.handle tr agent ~src msg
+                  | Ok msg ->
+                      on_recv ~src;
+                      Agent.handle tr agent ~src msg
                   | Error _ -> ()
                 end
           end

@@ -9,6 +9,7 @@
 
 val run_agent :
   ?wrap:(Dmw_core.Agent.transport -> Dmw_core.Agent.transport) ->
+  ?on_recv:(src:int -> unit) ->
   fd:Unix.file_descr ->
   agent:Dmw_core.Agent.t ->
   on_send:(dst:int -> tag:string -> bytes:int -> unit) ->
@@ -16,7 +17,9 @@ val run_agent :
   unit
 (** Runs Phases II–IV of [agent] over [fd]; returns after the stop
     signal. [on_send] observes every transmitted message (for the
-    backend's trace accounting); it is called from this thread only.
-    [wrap] (default identity) decorates the transport the agent sees —
-    the execution harness uses it to interpose fault injection at the
-    send boundary; the wrapped callbacks still run on this thread. *)
+    backend's trace accounting) and [on_recv] (default: nothing) every
+    well-formed delivered one, just before the agent handles it; both
+    are called from this thread only. [wrap] (default identity)
+    decorates the transport the agent sees — the execution harness
+    uses it to interpose fault injection at the send boundary; the
+    wrapped callbacks still run on this thread. *)

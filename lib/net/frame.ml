@@ -86,6 +86,8 @@ let rec write_all fd b pos len =
 
 let write fd ~src ~dst payload =
   let b = encode ~src ~dst payload in
+  Dmw_obs.Metrics.bump "dmw_frames_total" 1;
+  Dmw_obs.Metrics.bump "dmw_wire_bytes_total" (Bytes.length b);
   write_all fd b 0 (Bytes.length b)
 
 let rec read_exact fd b pos len =

@@ -1,0 +1,139 @@
+(* JSON string escaping: the label/name alphabet here is ASCII
+   identifiers, but escape control characters anyway so a hostile tag
+   cannot corrupt the report framing. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ escape s ^ "\""
+
+(* %.17g round-trips every float; trim the common integral case. *)
+let jfloat v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let jlabels labels =
+  jobj (List.map (fun (k, v) -> (k, jstr v)) labels)
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let sample_line = function
+  | Metrics.Counter { name; labels; value } ->
+      jobj
+        [ ("type", jstr "counter"); ("name", jstr name);
+          ("labels", jlabels labels); ("value", string_of_int value) ]
+  | Metrics.Gauge { name; labels; value } ->
+      jobj
+        [ ("type", jstr "gauge"); ("name", jstr name);
+          ("labels", jlabels labels); ("value", jfloat value) ]
+  | Metrics.Hist { name; labels; snapshot = s } ->
+      jobj
+        [ ("type", jstr "histogram"); ("name", jstr name);
+          ("labels", jlabels labels);
+          ("edges", jarr (Array.to_list (Array.map jfloat s.Metrics.Histogram.edges)));
+          ("underflow", string_of_int s.Metrics.Histogram.underflow);
+          ("counts",
+           jarr (Array.to_list (Array.map string_of_int s.Metrics.Histogram.counts)));
+          ("overflow", string_of_int s.Metrics.Histogram.overflow);
+          ("sum", jfloat s.Metrics.Histogram.sum);
+          ("count", string_of_int s.Metrics.Histogram.count) ]
+
+let span_line (s : Span.completed) =
+  jobj
+    [ ("type", jstr "span"); ("id", string_of_int s.Span.id);
+      ("parent",
+       match s.Span.parent with Some p -> string_of_int p | None -> "null");
+      ("name", jstr s.Span.name); ("attrs", jlabels s.Span.attrs);
+      ("start", jfloat s.Span.t_start); ("stop", jfloat s.Span.t_stop) ]
+
+let json_lines ?(meta = []) () =
+  let b = Buffer.create 4096 in
+  let line s = Buffer.add_string b s; Buffer.add_char b '\n' in
+  if meta <> [] then
+    line (jobj (("type", jstr "meta") :: List.map (fun (k, v) -> (k, jstr v)) meta));
+  List.iter (fun s -> line (sample_line s)) (Metrics.samples ());
+  List.iter (fun s -> line (span_line s)) (Span.completed ());
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> k ^ "=\"" ^ escape v ^ "\"") labels)
+      ^ "}"
+
+let prometheus () =
+  let b = Buffer.create 4096 in
+  let typed = Hashtbl.create 16 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun sample ->
+      match sample with
+      | Metrics.Counter { name; labels; value } ->
+          type_line name "counter";
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" name (prom_labels labels) value)
+      | Metrics.Gauge { name; labels; value } ->
+          type_line name "gauge";
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" name (prom_labels labels) (jfloat value))
+      | Metrics.Hist { name; labels; snapshot = s } ->
+          type_line name "histogram";
+          (* Cumulative le-buckets over the interior edges e1..e(k-1):
+             everything below e(i) — underflow included. *)
+          let edges = s.Metrics.Histogram.edges in
+          let cumulative = ref s.Metrics.Histogram.underflow in
+          for i = 1 to Array.length edges - 1 do
+            cumulative := !cumulative + s.Metrics.Histogram.counts.(i - 1);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (prom_labels (labels @ [ ("le", jfloat edges.(i)) ]))
+                 !cumulative)
+          done;
+          cumulative := !cumulative + s.Metrics.Histogram.overflow;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (prom_labels (labels @ [ ("le", "+Inf") ]))
+               !cumulative);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" name (prom_labels labels)
+               (jfloat s.Metrics.Histogram.sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" name (prom_labels labels)
+               s.Metrics.Histogram.count))
+    (Metrics.samples ());
+  Buffer.contents b
+
+let write_file ~path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc text
+
+let dump () = print_string (prometheus ())

@@ -1,0 +1,26 @@
+(** Report exporters over the {!Metrics} registry and {!Span} log.
+
+    Two formats:
+
+    - {!json_lines}: one JSON object per line — a [meta] line carrying
+      run identity (backend, n, m, seed, ...), then every metric
+      sample, then every completed span. Machine-readable run report;
+      what [dmw run --metrics out.jsonl] writes.
+    - {!prometheus}: Prometheus text exposition — counters and gauges
+      as-is, histograms as cumulative [_bucket{le=...}] series plus
+      [_sum]/[_count].
+
+    Both emit in the stable (name, labels) order of
+    {!Metrics.samples}, so reports diff cleanly across runs. *)
+
+val json_lines : ?meta:(string * string) list -> unit -> string
+
+val prometheus : unit -> string
+
+val write_file : path:string -> string -> unit
+(** Create/truncate [path] with the given report text. *)
+
+val dump : unit -> unit
+(** Print the report to stdout — the one sanctioned console sink for
+    metrics (lint rule R7 bans ad-hoc printf in [lib/]). Chooses
+    {!prometheus} format. *)

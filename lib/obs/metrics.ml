@@ -1,0 +1,196 @@
+type labels = (string * string) list
+
+(* The one branch the instrumented hot paths pay when observability is
+   off. *)
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+let rec atomic_add_float cell x =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. x)) then
+    atomic_add_float cell x
+
+module Histogram = struct
+  (* Byte-size oriented defaults: protocol messages run from ~20 B
+     (lambda_psi) to a few KB (hardened disclosures in big groups). *)
+  let default_edges = [| 16.; 64.; 256.; 1024.; 4096.; 16384. |]
+
+  type snapshot = {
+    edges : float array;
+    underflow : int;
+    counts : int array;
+    overflow : int;
+    sum : float;
+    count : int;
+  }
+
+  let check_edges edges =
+    let k = Array.length edges in
+    if k < 1 then invalid_arg "Histogram: need at least one edge";
+    for i = 0 to k - 2 do
+      if not (edges.(i) < edges.(i + 1)) then
+        invalid_arg "Histogram: edges must be strictly increasing"
+    done
+
+  let empty ~edges =
+    check_edges edges;
+    { edges = Array.copy edges;
+      underflow = 0;
+      counts = Array.make (Array.length edges - 1) 0;
+      overflow = 0;
+      sum = 0.0;
+      count = 0 }
+
+  let merge a b =
+    if a.edges <> b.edges then
+      invalid_arg "Histogram.merge: mismatched edges";
+    { edges = a.edges;
+      underflow = a.underflow + b.underflow;
+      counts = Array.map2 ( + ) a.counts b.counts;
+      overflow = a.overflow + b.overflow;
+      sum = a.sum +. b.sum;
+      count = a.count + b.count }
+end
+
+(* Live histogram cells; snapshots are taken under no lock — each cell
+   read is atomic, and the protocol's recording points are all
+   quiescent by the time anyone exports. *)
+type hist = {
+  edges : float array;
+  underflow : int Atomic.t;
+  buckets : int Atomic.t array;
+  overflow : int Atomic.t;
+  sum : float Atomic.t;
+  count : int Atomic.t;
+}
+
+let hist_create ~edges =
+  Histogram.check_edges edges;
+  { edges = Array.copy edges;
+    underflow = Atomic.make 0;
+    buckets = Array.init (Array.length edges - 1) (fun _ -> Atomic.make 0);
+    overflow = Atomic.make 0;
+    sum = Atomic.make 0.0;
+    count = Atomic.make 0 }
+
+let hist_observe h v =
+  let k = Array.length h.edges in
+  let cell =
+    if v < h.edges.(0) then h.underflow
+    else if v >= h.edges.(k - 1) then h.overflow
+    else begin
+      (* Linear scan: edge arrays are single digits long. *)
+      let i = ref 0 in
+      while v >= h.edges.(!i + 1) do incr i done;
+      h.buckets.(!i)
+    end
+  in
+  ignore (Atomic.fetch_and_add cell 1);
+  atomic_add_float h.sum v;
+  ignore (Atomic.fetch_and_add h.count 1)
+
+let hist_snapshot h =
+  { Histogram.edges = Array.copy h.edges;
+    underflow = Atomic.get h.underflow;
+    counts = Array.map Atomic.get h.buckets;
+    overflow = Atomic.get h.overflow;
+    sum = Atomic.get h.sum;
+    count = Atomic.get h.count }
+
+(* ------------------------------------------------------------------ *)
+(* The registry                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type value = C of int Atomic.t | G of float Atomic.t | H of hist
+type key = string * labels
+
+let registry : (key, value) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let normalize labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let find_or_create name labels mk =
+  let key = (name, normalize labels) in
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some v -> v
+      | None ->
+          let v = mk () in
+          Hashtbl.add registry key v;
+          v)
+
+let lookup name labels =
+  let key = (name, normalize labels) in
+  with_lock (fun () -> Hashtbl.find_opt registry key)
+
+let reset () = with_lock (fun () -> Hashtbl.reset registry)
+
+let kind_error name =
+  invalid_arg ("Metrics: " ^ name ^ " already registered with another type")
+
+let bump ?(labels = []) name n =
+  if Atomic.get enabled_flag then begin
+    if n < 0 then invalid_arg "Metrics.bump: counters are monotonic";
+    match find_or_create name labels (fun () -> C (Atomic.make 0)) with
+    | C cell -> ignore (Atomic.fetch_and_add cell n)
+    | G _ | H _ -> kind_error name
+  end
+
+let set ?(labels = []) name v =
+  if Atomic.get enabled_flag then
+    match find_or_create name labels (fun () -> G (Atomic.make 0.0)) with
+    | G cell -> Atomic.set cell v
+    | C _ | H _ -> kind_error name
+
+let observe ?(labels = []) ?(edges = Histogram.default_edges) name v =
+  if Atomic.get enabled_flag then
+    match find_or_create name labels (fun () -> H (hist_create ~edges)) with
+    | H h -> hist_observe h v
+    | C _ | G _ -> kind_error name
+
+let counter_value ?(labels = []) name =
+  match lookup name labels with
+  | Some (C cell) -> Atomic.get cell
+  | Some (G _ | H _) | None -> 0
+
+let gauge_value ?(labels = []) name =
+  match lookup name labels with
+  | Some (G cell) -> Some (Atomic.get cell)
+  | Some (C _ | H _) | None -> None
+
+let histogram_snapshot ?(labels = []) name =
+  match lookup name labels with
+  | Some (H h) -> Some (hist_snapshot h)
+  | Some (C _ | G _) | None -> None
+
+type sample =
+  | Counter of { name : string; labels : labels; value : int }
+  | Gauge of { name : string; labels : labels; value : float }
+  | Hist of { name : string; labels : labels; snapshot : Histogram.snapshot }
+
+let samples () =
+  let entries =
+    with_lock (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [])
+  in
+  entries
+  |> List.map (fun ((name, labels), v) ->
+         match v with
+         | C cell -> Counter { name; labels; value = Atomic.get cell }
+         | G cell -> Gauge { name; labels; value = Atomic.get cell }
+         | H h -> Hist { name; labels; snapshot = hist_snapshot h })
+  |> List.sort (fun a b ->
+         let key = function
+           | Counter { name; labels; _ }
+           | Gauge { name; labels; _ }
+           | Hist { name; labels; _ } ->
+               (name, labels)
+         in
+         compare (key a) (key b))

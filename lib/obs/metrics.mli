@@ -1,0 +1,94 @@
+(** Zero-dependency metrics registry.
+
+    Monotonic counters, gauges and fixed-bucket histograms, keyed by
+    name plus a (sorted) label set. Everything is process-global and
+    thread-safe: counters and bucket cells are {!Atomic} integers,
+    registry creation is serialized by one mutex.
+
+    Recording is gated on a single global switch. When observability
+    is {e off} (the default) every record call is one branch on an
+    atomic bool and nothing else — no lookup, no allocation — so
+    instrumented hot paths (modular exponentiation, message sends)
+    pay essentially nothing. Reading ({!counter_value}, {!samples},
+    the exporters) works regardless of the switch, so a report can be
+    written after the instrumented run has disabled recording. *)
+
+type labels = (string * string) list
+(** Label set. Order is irrelevant: labels are sorted by key when the
+    metric is registered, so [["a","1";"b","2"]] and
+    [["b","2";"a","1"]] name the same series. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val enabled : unit -> bool
+(** The global recording switch; [false] at startup. *)
+
+val reset : unit -> unit
+(** Drop every registered series (values {e and} registrations). *)
+
+(** {1 Recording} *)
+
+val bump : ?labels:labels -> string -> int -> unit
+(** [bump name n] adds [n] to the counter [name]/[labels], registering
+    it at zero first if needed. No-op when disabled. [n] must be
+    non-negative: counters are monotonic. *)
+
+val set : ?labels:labels -> string -> float -> unit
+(** [set name v] sets the gauge to [v]. No-op when disabled. *)
+
+val observe : ?labels:labels -> ?edges:float array -> string -> float -> unit
+(** [observe name v] records [v] into the histogram, registering it on
+    first use with [edges] (default {!Histogram.default_edges}).
+    [edges] is only consulted at registration; see {!Histogram} for
+    the bucket semantics. No-op when disabled. *)
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  (** A fixed-bucket histogram over strictly increasing edges
+      [e0 < e1 < ... < e(k-1)]:
+
+      - [underflow] counts observations [v < e0];
+      - interior bucket [i] (of [k - 1]) counts [e(i) <= v < e(i+1)];
+      - [overflow] counts [v >= e(k-1)].
+
+      [sum]/[count] accumulate the raw observations, so a mean is
+      recoverable even for under/overflowing values. *)
+
+  val default_edges : float array
+
+  type snapshot = {
+    edges : float array;
+    underflow : int;
+    counts : int array;  (** interior buckets; length [edges - 1] *)
+    overflow : int;
+    sum : float;
+    count : int;
+  }
+
+  val merge : snapshot -> snapshot -> snapshot
+  (** Pointwise sum. Associative and commutative, with the empty
+      histogram over the same edges as identity. Raises
+      [Invalid_argument] when the edge arrays differ. *)
+
+  val empty : edges:float array -> snapshot
+end
+
+(** {1 Reading} *)
+
+val counter_value : ?labels:labels -> string -> int
+(** Current counter value; [0] for an unregistered series. *)
+
+val gauge_value : ?labels:labels -> string -> float option
+
+val histogram_snapshot : ?labels:labels -> string -> Histogram.snapshot option
+
+type sample =
+  | Counter of { name : string; labels : labels; value : int }
+  | Gauge of { name : string; labels : labels; value : float }
+  | Hist of { name : string; labels : labels; snapshot : Histogram.snapshot }
+
+val samples : unit -> sample list
+(** Every registered series, sorted by name then labels — the stable
+    order the exporters emit. *)

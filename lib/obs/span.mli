@@ -1,0 +1,51 @@
+(** Hierarchical trace spans.
+
+    A span is a named interval with optional parent and attributes —
+    enough to reconstruct the protocol's activity tree
+
+    {v run > task auction > phase{commit, share, resolve, payment} v}
+
+    from a report. Timestamps are whatever clock the caller passes
+    ([now]): virtual seconds on the simulator, wall seconds on the
+    real-time backends — the recorder does not read any clock itself,
+    which is what keeps replayed runs deterministic.
+
+    Like {!Metrics}, recording is gated on the global
+    {!Metrics.enabled} switch and is thread-safe; reading works with
+    the switch off. *)
+
+type id
+(** Opaque span handle. The null id (returned when recording is
+    disabled) makes every subsequent operation on it a no-op. *)
+
+val null : id
+
+val start :
+  ?parent:id -> ?attrs:(string * string) list -> name:string -> now:float ->
+  unit -> id
+(** Open a span at time [now]. *)
+
+val finish : id -> now:float -> unit
+(** Close it. Finishing an unknown or already-finished span is a
+    no-op. *)
+
+val emit :
+  ?parent:id -> ?attrs:(string * string) list -> name:string ->
+  t_start:float -> t_stop:float -> unit -> id
+(** Record an already-delimited interval in one call — how the
+    harness materializes aggregated per-phase spans after a run. *)
+
+type completed = {
+  id : int;
+  parent : int option;
+  name : string;
+  attrs : (string * string) list;
+  t_start : float;
+  t_stop : float;
+}
+
+val completed : unit -> completed list
+(** All finished spans, ordered by start time (ties: id). Spans still
+    open are not reported. *)
+
+val reset : unit -> unit

@@ -1,0 +1,16 @@
+let messages_per_auction ~n ~y_star = (n - 1) * ((4 * n) + y_star + 1)
+
+let messages_per_run ~n ~m ~y_star = (m * messages_per_auction ~n ~y_star) + n
+
+let modexps_per_auction ~n ~y_star =
+  (8 * n * n * n) + (9 * n * n)
+  + ((((y_star - 1) * (y_star - 3)) - 10) * n)
+  - (y_star + 1)
+
+let modexps_per_run ~n ~m ~y_star = m * modexps_per_auction ~n ~y_star
+
+let commitments_per_run ~n ~m = 2 * m * n * n
+
+let resolution_tests_per_run ~n ~m ~c ~y_star =
+  let w_max = n - c - 1 in
+  2 * m * n * (w_max - y_star + 1)

@@ -124,6 +124,7 @@ let run t =
     | None -> ()
     | Some (time, ev) ->
         incr processed;
+        Dmw_obs.Metrics.bump "dmw_sim_events_total" 1;
         if !processed > t.event_budget then
           (* lint: allow partial: deliberate fail-fast on a livelocked
              simulation; returning a result would hide the bug. *)
@@ -139,4 +140,5 @@ let run t =
             end);
         loop ()
   in
-  loop ()
+  loop ();
+  Dmw_obs.Metrics.set "dmw_sim_virtual_time" t.clock

@@ -1,0 +1,5 @@
+(* Seeded R7 violation: bare console printing in library code.
+   Linted as if it lived under lib/exec/; never compiled. *)
+
+let report n = Printf.printf "sent %d messages\n" n
+let complain msg = Printf.eprintf "warning: %s\n" msg

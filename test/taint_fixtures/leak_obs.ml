@@ -1,0 +1,6 @@
+(* Seeded leak: an agent's private bid flows into an observability
+   gauge — Dmw_obs record/export calls are T-log sinks, so secret
+   values cannot hide in metrics or span payloads. *)
+type t = { bids : int array }
+
+let leak (a : t) = Dmw_obs.Metrics.set "dmw_bid" (float_of_int a.bids.(0))

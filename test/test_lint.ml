@@ -31,7 +31,8 @@ let test_seeded () =
   check_rules ~rule_path:"lib/core/bad_r3.ml" ~file:"bad_r3.ml" [ "R3" ];
   check_rules ~rule_path:"lib/exec/bad_r4.ml" ~file:"bad_r4.ml" [ "R4" ];
   check_rules ~rule_path:"lib/exec/bad_r5.ml" ~file:"bad_r5.ml" [ "R5" ];
-  check_rules ~rule_path:"lib/core/bad_r6.ml" ~file:"bad_r6.ml" [ "R6" ]
+  check_rules ~rule_path:"lib/core/bad_r6.ml" ~file:"bad_r6.ml" [ "R6" ];
+  check_rules ~rule_path:"lib/exec/bad_r7.ml" ~file:"bad_r7.ml" [ "R7" ]
 
 let test_scope () =
   (* The same sources under exempted paths: R1 inside lib/modular, R3
@@ -41,7 +42,11 @@ let test_scope () =
   check_rules ~rule_path:"lib/modular/bad_r1.ml" ~file:"bad_r1.ml" [];
   check_rules ~rule_path:"lib/bigint/prng.ml" ~file:"bad_r3.ml" [];
   check_rules ~rule_path:"lib/mechanism/bad_r4.ml" ~file:"bad_r4.ml" [];
-  check_rules ~rule_path:"lib/mechanism/bad_r5.ml" ~file:"bad_r5.ml" []
+  check_rules ~rule_path:"lib/mechanism/bad_r5.ml" ~file:"bad_r5.ml" [];
+  (* R7 is scoped to lib/ and exempts the Dmw_obs sinks themselves;
+     bench and tools print freely. *)
+  check_rules ~rule_path:"lib/obs/bad_r7.ml" ~file:"bad_r7.ml" [];
+  check_rules ~rule_path:"bench/bad_r7.ml" ~file:"bad_r7.ml" []
 
 let test_clean () =
   let vs = Lint.lint_file ~rule_path:"lib/exec/clean.ml" (fixture "clean.ml") in

@@ -1,0 +1,306 @@
+(* Unit and property tests for the Dmw_obs subsystem: registry
+   semantics (enable gating, label normalization), histogram bucket
+   edges and merge algebra, span recording, exporter output, and the
+   qcheck property tying the Frame wire-byte counter to the encoded
+   sizes of random message batches. *)
+
+open Dmw_bigint
+open Dmw_core
+open Dmw_crypto
+open Test_support
+module Metrics = Dmw_obs.Metrics
+module Span = Dmw_obs.Span
+module Export = Dmw_obs.Export
+module H = Dmw_obs.Metrics.Histogram
+module Frame = Dmw_net.Frame
+
+let fresh () =
+  Metrics.reset ();
+  Span.reset ();
+  Metrics.enable ()
+
+let teardown () = Metrics.disable ()
+
+let with_obs f () =
+  fresh ();
+  Fun.protect ~finally:teardown f
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let test_counter_basics () =
+  Metrics.bump "c" 1;
+  Metrics.bump "c" 2;
+  Alcotest.(check int) "accumulates" 3 (Metrics.counter_value "c");
+  Alcotest.(check int) "absent counter reads zero" 0 (Metrics.counter_value "nope");
+  Alcotest.check_raises "negative bump rejected"
+    (Invalid_argument "Metrics.bump: counters are monotonic") (fun () ->
+      Metrics.bump "c" (-1))
+
+let test_disabled_is_noop () =
+  Metrics.disable ();
+  Metrics.bump "c" 5;
+  Metrics.set "g" 1.0;
+  Metrics.observe "h" 1.0;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value "c");
+  Alcotest.(check bool) "gauge unregistered" true
+    (Option.is_none (Metrics.gauge_value "g"));
+  Alcotest.(check int) "nothing registered" 0 (List.length (Metrics.samples ()));
+  Metrics.enable ()
+
+let test_label_normalization () =
+  Metrics.bump ~labels:[ ("b", "2"); ("a", "1") ] "c" 1;
+  Metrics.bump ~labels:[ ("a", "1"); ("b", "2") ] "c" 1;
+  Alcotest.(check int) "label order is irrelevant" 2
+    (Metrics.counter_value ~labels:[ ("b", "2"); ("a", "1") ] "c")
+
+let test_gauge_last_write () =
+  Metrics.set "g" 1.5;
+  Metrics.set "g" 2.5;
+  Alcotest.(check (option (float 0.0))) "last write wins" (Some 2.5)
+    (Metrics.gauge_value "g")
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket edges                                              *)
+
+let edges = [| 0.0; 10.0; 20.0 |]
+
+let snap () =
+  match Metrics.histogram_snapshot "h" with
+  | Some s -> s
+  | None -> Alcotest.fail "histogram not registered"
+
+let test_histogram_edges () =
+  List.iter (fun v -> Metrics.observe ~edges "h" v)
+    [ -0.001; (* underflow *)
+      0.0; 9.999; (* first bucket: [0, 10) *)
+      10.0; 19.999; (* second bucket: [10, 20) *)
+      20.0; 1e9 (* overflow: the top edge itself overflows *) ];
+  let s = snap () in
+  Alcotest.(check int) "underflow" 1 s.H.underflow;
+  Alcotest.(check (array int)) "interior buckets" [| 2; 2 |] s.H.counts;
+  Alcotest.(check int) "overflow" 2 s.H.overflow;
+  Alcotest.(check int) "count totals everything" 7 s.H.count
+
+let test_histogram_single_edge () =
+  (* One edge means no interior buckets: everything is under or over. *)
+  List.iter (fun v -> Metrics.observe ~edges:[| 5.0 |] "h" v) [ 4.9; 5.0; 7.0 ];
+  let s = snap () in
+  Alcotest.(check int) "under" 1 s.H.underflow;
+  Alcotest.(check (array int)) "no interior" [||] s.H.counts;
+  Alcotest.(check int) "over" 2 s.H.overflow
+
+let test_bad_edges_rejected () =
+  Alcotest.check_raises "non-increasing edges"
+    (Invalid_argument "Histogram: edges must be strictly increasing") (fun () ->
+      ignore (H.empty ~edges:[| 1.0; 1.0 |]));
+  Alcotest.check_raises "empty edges"
+    (Invalid_argument "Histogram: need at least one edge") (fun () ->
+      ignore (H.empty ~edges:[||]))
+
+(* Merge algebra, on random snapshots over a fixed edge array. *)
+
+let snapshot_gen =
+  QCheck.Gen.(
+    map
+      (fun (u, c1, c2, o, xs) ->
+        { H.edges;
+          underflow = u;
+          counts = [| c1; c2 |];
+          overflow = o;
+          sum = List.fold_left ( +. ) 0.0 (List.map float_of_int xs);
+          count = u + c1 + c2 + o })
+      (tup5 (int_bound 50) (int_bound 50) (int_bound 50) (int_bound 50)
+         (small_list small_int)))
+
+let snapshot_arb = QCheck.make snapshot_gen
+
+let eq_snap a b =
+  a.H.edges = b.H.edges && a.H.underflow = b.H.underflow
+  && a.H.counts = b.H.counts && a.H.overflow = b.H.overflow
+  && Float.abs (a.H.sum -. b.H.sum) < 1e-6
+  && a.H.count = b.H.count
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:100 ~name:"histogram merge is associative"
+    QCheck.(triple snapshot_arb snapshot_arb snapshot_arb)
+    (fun (a, b, c) ->
+      eq_snap (H.merge (H.merge a b) c) (H.merge a (H.merge b c)))
+
+let prop_merge_commutative_with_identity =
+  QCheck.Test.make ~count:100
+    ~name:"histogram merge commutes; empty is identity"
+    QCheck.(pair snapshot_arb snapshot_arb)
+    (fun (a, b) ->
+      eq_snap (H.merge a b) (H.merge b a)
+      && eq_snap a (H.merge a (H.empty ~edges)))
+
+let test_merge_mismatched_edges () =
+  let a = H.empty ~edges and b = H.empty ~edges:[| 1.0; 2.0 |] in
+  Alcotest.check_raises "mismatched edges rejected"
+    (Invalid_argument "Histogram.merge: mismatched edges") (fun () ->
+      ignore (H.merge a b))
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let test_span_tree () =
+  let root = Span.start ~name:"run" ~now:0.0 () in
+  let child = Span.start ~parent:root ~attrs:[ ("task", "0") ] ~name:"auction" ~now:1.0 () in
+  Span.finish child ~now:2.0;
+  Span.finish root ~now:3.0;
+  ignore (Span.emit ~parent:root ~name:"payment" ~t_start:2.5 ~t_stop:2.75 ());
+  match Span.completed () with
+  | [ a; b; c ] ->
+      Alcotest.(check string) "root first (earliest start)" "run" a.Span.name;
+      Alcotest.(check (option int)) "root has no parent" None a.Span.parent;
+      Alcotest.(check string) "child ordered by start" "auction" b.Span.name;
+      Alcotest.(check (option int)) "child's parent is root" (Some a.Span.id)
+        b.Span.parent;
+      Alcotest.(check string) "emitted span present" "payment" c.Span.name;
+      Alcotest.(check (float 0.0)) "emitted interval kept" 2.75 c.Span.t_stop
+  | spans ->
+      Alcotest.failf "expected 3 completed spans, got %d" (List.length spans)
+
+let test_span_disabled_and_unfinished () =
+  let open_ = Span.start ~name:"open" ~now:0.0 () in
+  ignore open_;
+  Metrics.disable ();
+  let id = Span.start ~name:"ghost" ~now:0.0 () in
+  Span.finish id ~now:1.0;
+  Metrics.enable ();
+  (* The unfinished span is not reported; the disabled one was never
+     recorded. *)
+  Alcotest.(check int) "neither reported" 0 (List.length (Span.completed ()))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_json_lines () =
+  Metrics.bump ~labels:[ ("tag", "share") ] "msgs" 7;
+  Metrics.set "vt" 1.5;
+  ignore (Span.emit ~name:"run" ~t_start:0.0 ~t_stop:1.0 ());
+  let report = Export.json_lines ~meta:[ ("backend", "sim") ] () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report contains " ^ needle) true
+        (contains ~needle report))
+    [ {|{"type":"meta","backend":"sim"}|};
+      {|{"type":"counter","name":"msgs","labels":{"tag":"share"},"value":7}|};
+      {|{"type":"gauge","name":"vt","labels":{},"value":1.5}|};
+      {|"type":"span"|} ]
+
+let test_prometheus_cumulative () =
+  List.iter (fun v -> Metrics.observe ~edges "h" v) [ -1.0; 5.0; 15.0; 25.0 ];
+  Metrics.bump "c" 2;
+  let text = Export.prometheus () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition contains " ^ needle) true
+        (contains ~needle text))
+    [ "# TYPE c counter"; "c 2"; "# TYPE h histogram";
+      (* cumulative: underflow rolls into the first le bucket *)
+      "h_bucket{le=\"10\"} 2"; "h_bucket{le=\"20\"} 3";
+      "h_bucket{le=\"+Inf\"} 4"; "h_count 4" ]
+
+(* ------------------------------------------------------------------ *)
+(* Frame wire accounting: qcheck property                              *)
+
+let group = small_group ()
+
+let random_share g =
+  { Share.e_at = Dmw_modular.Group.random_exponent group g;
+    f_at = Dmw_modular.Group.random_exponent group g;
+    g_at = Dmw_modular.Group.random_exponent group g;
+    h_at = Dmw_modular.Group.random_exponent group g }
+
+let random_message g =
+  match Prng.int g 4 with
+  | 0 -> Messages.Share { task = Prng.int g 8; share = random_share g }
+  | 1 ->
+      Messages.Lambda_psi
+        { task = Prng.int g 8;
+          lambda = Dmw_modular.Group.pow group group.Dmw_modular.Group.z1
+              (Dmw_modular.Group.random_exponent group g);
+          psi = Dmw_modular.Group.pow group group.Dmw_modular.Group.z2
+              (Dmw_modular.Group.random_exponent group g) }
+  | 2 ->
+      Messages.Payment_report
+        { payments = Array.init (Prng.int g 5) (fun i -> float_of_int i) }
+  | _ ->
+      Messages.F_disclosure
+        { task = Prng.int g 8;
+          f_row =
+            Array.init (Prng.int g 6) (fun _ ->
+                Dmw_modular.Group.random_exponent group g) }
+
+(* The wire-byte counter must equal the frame-encoded size of exactly
+   what was written: Codec payload plus one fixed header per frame. *)
+let prop_wire_bytes =
+  QCheck.Test.make ~count:25
+    ~name:"Frame.write counter delta = encoded batch size"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      fresh ();
+      Fun.protect ~finally:teardown @@ fun () ->
+      let g = Prng.create ~seed in
+      let batch = List.init (1 + Prng.int g 8) (fun _ -> random_message g) in
+      let fd_r, fd_w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd_r; Unix.close fd_w)
+      @@ fun () ->
+      let frames0 = Metrics.counter_value "dmw_frames_total" in
+      let bytes0 = Metrics.counter_value "dmw_wire_bytes_total" in
+      let expected =
+        List.fold_left
+          (fun acc msg ->
+            let payload = Codec.encode msg in
+            Frame.write fd_w ~src:1 ~dst:2 payload;
+            (* drain so the kernel buffer never fills *)
+            (match Frame.read fd_r with
+            | `Frame (_, _, p) ->
+                if p <> payload then QCheck.Test.fail_report "payload mangled"
+            | `Closed -> QCheck.Test.fail_report "unexpected close");
+            acc + Frame.header_size + Codec.encoded_size msg)
+          0 batch
+      in
+      Metrics.counter_value "dmw_frames_total" - frames0 = List.length batch
+      && Metrics.counter_value "dmw_wire_bytes_total" - bytes0 = expected)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "registry",
+        [ Alcotest.test_case "counter basics" `Quick (with_obs test_counter_basics);
+          Alcotest.test_case "disabled is a no-op" `Quick
+            (with_obs test_disabled_is_noop);
+          Alcotest.test_case "label normalization" `Quick
+            (with_obs test_label_normalization);
+          Alcotest.test_case "gauge last-write" `Quick
+            (with_obs test_gauge_last_write) ] );
+      ( "histogram",
+        [ Alcotest.test_case "bucket edges" `Quick (with_obs test_histogram_edges);
+          Alcotest.test_case "single edge" `Quick
+            (with_obs test_histogram_single_edge);
+          Alcotest.test_case "bad edges" `Quick (with_obs test_bad_edges_rejected);
+          Alcotest.test_case "merge mismatched edges" `Quick
+            (with_obs test_merge_mismatched_edges) ] );
+      qsuite "histogram merge algebra"
+        [ prop_merge_associative; prop_merge_commutative_with_identity ];
+      ( "spans",
+        [ Alcotest.test_case "tree" `Quick (with_obs test_span_tree);
+          Alcotest.test_case "disabled and unfinished" `Quick
+            (with_obs test_span_disabled_and_unfinished) ] );
+      ( "export",
+        [ Alcotest.test_case "json lines" `Quick (with_obs test_json_lines);
+          Alcotest.test_case "prometheus cumulative buckets" `Quick
+            (with_obs test_prometheus_cumulative) ] );
+      qsuite "frame accounting" [ prop_wire_bytes ] ]

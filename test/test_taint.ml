@@ -40,7 +40,8 @@ let test_seeded () =
   check ~rule_path:"lib/crypto/leak_prng.ml" "Leak_prng" [ ("T-msg", 6) ];
   check ~rule_path:"lib/crypto/leak_share.ml" "Leak_share" [ ("T-log", 3) ];
   check ~rule_path:"lib/crypto/leak_dealer.ml" "Leak_dealer" [ ("T-msg", 4) ];
-  check ~rule_path:"lib/core/leak_bid.ml" "Leak_bid" [ ("T-trace", 5) ]
+  check ~rule_path:"lib/core/leak_bid.ml" "Leak_bid" [ ("T-trace", 5) ];
+  check ~rule_path:"lib/core/leak_obs.ml" "Leak_obs" [ ("T-log", 6) ]
 
 let test_scope () =
   (* The same cmts under paths where the source class is not secret:
@@ -49,6 +50,7 @@ let test_scope () =
      the wire codec is allowed to take a share bundle apart. *)
   check ~rule_path:"bench/leak_prng.ml" "Leak_prng" [];
   check ~rule_path:"bench/leak_bid.ml" "Leak_bid" [];
+  check ~rule_path:"bench/leak_obs.ml" "Leak_obs" [];
   check ~rule_path:"lib/core/codec.ml" "Leak_share" []
 
 let test_near_miss () =

@@ -24,7 +24,15 @@ type violation = Report.violation = {
 
 let has_prefix = Fs.has_prefix
 
-type active = { r1 : bool; r2 : bool; r3 : bool; r4 : bool; r5 : bool; r6 : bool }
+type active = {
+  r1 : bool;
+  r2 : bool;
+  r3 : bool;
+  r4 : bool;
+  r5 : bool;
+  r6 : bool;
+  r7 : bool;
+}
 
 let active_for path =
   { r1 = not (has_prefix "lib/bigint/" path || has_prefix "lib/modular/" path);
@@ -42,7 +50,8 @@ let active_for path =
       path = "lib/core/agent.ml"
       || has_prefix "lib/exec/" path
       || has_prefix "lib/net/" path;
-    r6 = true }
+    r6 = true;
+    r7 = has_prefix "lib/" path && not (has_prefix "lib/obs/" path) }
 
 (* ------------------------------------------------------------------ *)
 (* Escape hatch: (* lint: allow <kw>: reason *)                        *)
@@ -55,6 +64,7 @@ let rule_of_keyword = function
   | "mutex" | "R4" | "r4" -> Some "R4"
   | "wildcard" | "R5" | "r5" -> Some "R5"
   | "partial" | "R6" | "r6" -> Some "R6"
+  | "printf" | "R7" | "r7" -> Some "R7"
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -215,6 +225,17 @@ let check_structure ~file ~rules ~allows structure =
                 "bare Mutex.%s: use Dmw_runtime.Mutex_util.with_lock, which \
                  unlocks on every path including exceptions"
                 op)
+       | _ -> ());
+    (if rules.r7 then
+       match txt with
+       | Longident.Ldot (Longident.Lident "Printf", (("printf" | "eprintf") as f)) ->
+           add loc "R7"
+             (Printf.sprintf
+                "bare Printf.%s in library code: console output belongs to \
+                 the Dmw_obs sinks (Dmw_obs.Export.dump or an exporter) so \
+                 reports stay machine-readable (escape hatch: (* lint: allow \
+                 printf: reason *))"
+                f)
        | _ -> ());
     if rules.r6 then
       match txt with

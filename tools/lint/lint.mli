@@ -28,13 +28,17 @@
       [Option.get], [failwith], [assert false]) anywhere in the
       scanned tree; protocol code uses typed errors or documents the
       invariant with the escape hatch.
+    - {b R7} bare [Printf.printf]/[Printf.eprintf] in [lib/] outside
+      the [Dmw_obs] sinks ([lib/obs]): library code reports through
+      the metrics registry and its exporters, not ad-hoc console
+      writes — benches, binaries and examples print freely.
 
     Escape hatch: a comment [(* lint: allow <kw>: reason *)] closing
     on the flagged line or the line above suppresses one rule there —
     the justification may span several lines; the allowance anchors
     where the comment closes. [<kw>] is one of [bigint-arith],
-    [poly-eq], [random], [mutex], [wildcard], [partial] (or a literal
-    rule id [R1]..[R6]).
+    [poly-eq], [random], [mutex], [wildcard], [partial], [printf] (or
+    a literal rule id [R1]..[R7]).
 
     An escape hatch that suppresses nothing — the code it excused was
     deleted, or the keyword is unknown — is itself reported as
@@ -45,7 +49,7 @@ type violation = Analysis_kit.Report.violation = {
   line : int;  (** 1-based *)
   col : int;  (** 0-based *)
   rule : string;
-      (** ["R1"].. ["R6"], ["stale-allow"] for a dead escape hatch, or
+      (** ["R1"].. ["R7"], ["stale-allow"] for a dead escape hatch, or
           ["parse"] on a syntax error *)
   message : string;
 }

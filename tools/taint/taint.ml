@@ -166,6 +166,14 @@ let sink_fn (m, v) =
       Some ("T-wire", m ^ "." ^ v)
   | "Trace", "record" -> Some ("T-trace", "Trace.record")
   | "Audit", "log" -> Some ("T-trace", "Audit.log")
+  (* Observability is an export surface: metric values, labels and
+     span attributes end up in run reports, so secrets must be
+     declassified before they are recorded. *)
+  | "Metrics", ("bump" | "set" | "observe") ->
+      Some ("T-log", "Dmw_obs.Metrics." ^ v)
+  | "Span", ("start" | "emit") -> Some ("T-log", "Dmw_obs.Span." ^ v)
+  | "Export", ("json_lines" | "prometheus" | "write_file" | "dump") ->
+      Some ("T-log", "Dmw_obs.Export." ^ v)
   | "Printf", ("printf" | "eprintf" | "fprintf" | "ifprintf") ->
       Some ("T-log", "Printf." ^ v)
   | "Format", ("printf" | "eprintf" | "fprintf") ->

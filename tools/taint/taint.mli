@@ -30,7 +30,10 @@
     - [T-trace] — [Trace.record], [Audit.log], building a
       [Transcript.t];
     - [T-log] — [Printf]/[Format] printing (including [fprintf] to a
-      caller-supplied formatter).
+      caller-supplied formatter), and the observability surface:
+      [Dmw_obs.Metrics.bump]/[set]/[observe], [Dmw_obs.Span.start]/
+      [emit] and the [Dmw_obs.Export] writers — metric values, labels
+      and span attributes end up in run reports.
 
     {b Declassifiers} (the only sanctioned crossings): results of
     [Pedersen.commit]/[blind_only], share evaluation
