@@ -2,8 +2,9 @@
    count messages and bytes by hand out of its own trace now wraps the
    run in [measure], which turns observability on, reads the Dmw_obs
    counters afterwards, and accumulates one row per run. [flush]
-   writes the rows as one JSON array — BENCH_5.json — in the standard
-   schema: experiment, backend, n, m, msgs, bytes, modexps, wall_ns. *)
+   writes the rows as one JSON array — BENCH_6.json — in the standard
+   schema: experiment, backend, n, m, msgs, bytes, modexps, wall_ns,
+   duration_ns. *)
 
 module Metrics = Dmw_obs.Metrics
 
@@ -16,6 +17,10 @@ type row = {
   bytes : int;
   modexps : int;
   wall_ns : int;
+  duration_ns : int;
+      (* The run's own completion clock — virtual seconds on the
+         simulator — as opposed to [wall_ns], the harness's real
+         elapsed time. 0 when the experiment reports no duration. *)
 }
 
 let rows : row list ref = ref []
@@ -30,32 +35,38 @@ let counter_total name =
       | _ -> acc)
     0 (Metrics.samples ())
 
-let measure ~experiment ~backend ~n ~m f =
+let measure ?duration_of ~experiment ~backend ~n ~m f =
   Metrics.reset ();
   Dmw_obs.Span.reset ();
   Metrics.enable ();
   let t0 = Unix.gettimeofday () in
   let result = Fun.protect ~finally:Metrics.disable f in
   let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  let duration_ns =
+    match duration_of with
+    | None -> 0
+    | Some seconds_of -> int_of_float (seconds_of result *. 1e9)
+  in
   let row =
     { experiment; backend; n; m;
       msgs = counter_total "dmw_messages_total";
       bytes = counter_total "dmw_bytes_total";
       modexps = counter_total "dmw_modexp_total";
-      wall_ns }
+      wall_ns; duration_ns }
   in
   rows := row :: !rows;
   (result, row)
 
-let flush ?(path = "BENCH_5.json") () =
+let flush ?(path = "BENCH_6.json") () =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
   output_string oc "[";
   List.iteri
     (fun i r ->
-      Printf.fprintf oc "%s\n  {\"experiment\":%S,\"backend\":%S,\"n\":%d,\"m\":%d,\"msgs\":%d,\"bytes\":%d,\"modexps\":%d,\"wall_ns\":%d}"
+      Printf.fprintf oc "%s\n  {\"experiment\":%S,\"backend\":%S,\"n\":%d,\"m\":%d,\"msgs\":%d,\"bytes\":%d,\"modexps\":%d,\"wall_ns\":%d,\"duration_ns\":%d}"
         (if i = 0 then "" else ",")
-        r.experiment r.backend r.n r.m r.msgs r.bytes r.modexps r.wall_ns)
+        r.experiment r.backend r.n r.m r.msgs r.bytes r.modexps r.wall_ns
+        r.duration_ns)
     (List.rev !rows);
   output_string oc "\n]\n";
   Printf.printf "\nwrote %d bench rows to %s\n" (List.length !rows) path

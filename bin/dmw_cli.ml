@@ -5,6 +5,7 @@
      sweep   communication/computation scaling sweeps (Table 1)
      attack  coalition privacy attack (Theorem 10)
      trace   message sequence of one auction (Fig. 2)
+     submit  send jobs to a running dmw_serve daemon
      group   inspect or generate Schnorr group parameters *)
 
 open Cmdliner
@@ -156,8 +157,18 @@ let run_cmd =
                    otherwise (counters, gauges, histograms, then the \
                    run > auction > phase span tree).")
   in
+  let pipeline =
+    Arg.(value & opt (some int) None
+         & info [ "pipeline" ] ~docv:"DEPTH"
+             ~doc:"Admission-window depth of the per-task auction \
+                   pipeline: at most DEPTH auctions are in flight per \
+                   agent at once. 1 runs the tasks strictly one after \
+                   another; the default (m) starts them all together. \
+                   Outcomes and message counts are depth-invariant — \
+                   only latency changes.")
+  in
   let run n m c seed group_bits workload deviant strategy quiet batching verbose
-      backend timeout hardened faults retries w_max metrics =
+      backend timeout hardened faults retries w_max metrics pipeline =
     setup_logs verbose;
     let params = make_params ?w_max ~group_bits ~seed ~n ~m ~c () in
     let rng = Prng.create ~seed in
@@ -189,7 +200,7 @@ let run_cmd =
     if Option.is_some metrics then Dmw_obs.Metrics.enable ();
     let result =
       Dmw_exec.run ~strategies ~seed ~batching ~hardened ?faults ~retries
-        ~backend params ~bids
+        ?pipeline ~backend params ~bids
     in
     Format.printf "@.%a@." Dmw_exec.pp_summary result;
     let rank = Params.pseudonym_rank params in
@@ -227,7 +238,7 @@ let run_cmd =
   let term =
     Term.(const run $ n_arg $ m_arg $ c_arg $ seed_arg $ bits_arg $ workload
           $ deviant $ strategy $ quiet $ batching $ verbose $ backend $ timeout
-          $ hardened $ faults $ retries $ w_max $ metrics)
+          $ hardened $ faults $ retries $ w_max $ metrics $ pipeline)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the distributed mechanism on a generated instance.")
@@ -488,6 +499,77 @@ let divisible_cmd =
     Term.(const Stdlib.exit $ term)
 
 (* ------------------------------------------------------------------ *)
+(* submit                                                              *)
+
+(* Client half of the dmw_serve front door: connect, pipeline the
+   submissions, read one reply per request. Every line sent before
+   [quit] is answered — the daemon's per-connection writer drains its
+   reply queue after the reader stops — so closely-spaced jobs here
+   land in the same auction wave over there. *)
+let submit_cmd =
+  let socket_path =
+    Arg.(value & opt string "/tmp/dmw_serve.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of a running dmw_serve daemon.")
+  in
+  let jobs =
+    Arg.(value & opt_all string []
+         & info [ "job" ] ~docv:"W1,...,WN"
+             ~doc:"A task to auction: one bid level per agent, \
+                   comma-separated. Repeatable; jobs submitted together \
+                   are batched into one wave.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Also query the daemon's epoch/job counters.")
+  in
+  let submit socket_path jobs stats =
+    if jobs = [] && not stats then begin
+      Printf.eprintf "nothing to do: pass --job and/or --stats\n";
+      exit 2
+    end;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "cannot connect to %s: %s\n" socket_path
+          (Unix.error_message e);
+        exit 2);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    List.iter (fun job -> output_string oc ("submit " ^ job ^ "\n")) jobs;
+    if stats then output_string oc "stats\n";
+    output_string oc "quit\n";
+    flush oc;
+    let expected = List.length jobs + if stats then 1 else 0 in
+    let ok_reply line =
+      String.starts_with ~prefix:"result " line
+      || String.starts_with ~prefix:"stats " line
+    in
+    let rec read_replies remaining failures =
+      if remaining = 0 then failures
+      else
+        match input_line ic with
+        | line ->
+            print_endline line;
+            read_replies (remaining - 1)
+              (failures + if ok_reply line then 0 else 1)
+        | exception End_of_file ->
+            Printf.eprintf "connection closed with %d replies pending\n"
+              remaining;
+            failures + remaining
+    in
+    let failures = read_replies expected 0 in
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+    if failures = 0 then 0 else 1
+  in
+  let term = Term.(const submit $ socket_path $ jobs $ stats) in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit auction jobs to a running dmw_serve daemon.")
+    Term.(const Stdlib.exit $ term)
+
+(* ------------------------------------------------------------------ *)
 (* group                                                               *)
 
 let group_cmd =
@@ -516,4 +598,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; compare_cmd; sweep_cmd; attack_cmd; trace_cmd; audit_cmd;
-            multiunit_cmd; divisible_cmd; group_cmd ]))
+            multiunit_cmd; divisible_cmd; submit_cmd; group_cmd ]))

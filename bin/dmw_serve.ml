@@ -1,0 +1,137 @@
+(* dmw_serve — the persistent auction service daemon.
+
+   Promotes the socket backend into a long-running process: n agent
+   endpoints stay connected over one fabric, jobs arrive through a
+   Unix-domain socket front door (newline protocol; see
+   Dmw_serve_core.Front), and queued jobs are batched into epoch
+   waves. SIGINT/SIGTERM drain the queue before exiting. *)
+
+open Cmdliner
+
+let serve n c seed group_bits w_max pipeline max_wave queue_capacity
+    wave_window epoch_timeout socket_path metrics =
+  if Option.is_some metrics then Dmw_obs.Metrics.enable ();
+  let cfg =
+    try
+      Dmw_serve_core.config ~group_bits ~seed ?w_max ?pipeline ~max_wave
+        ~queue_capacity ~wave_window ~epoch_timeout ~n ~c ()
+    with Invalid_argument msg ->
+      Printf.eprintf "invalid configuration: %s\n" msg;
+      exit 2
+  in
+  let service =
+    try Dmw_serve_core.create cfg
+    with Invalid_argument msg ->
+      Printf.eprintf "invalid parameters: %s\n" msg;
+      exit 2
+  in
+  let front = Dmw_serve_core.Front.start service ~socket_path in
+  Printf.printf "dmw_serve: listening on %s (n=%d c=%d max_wave=%d)\n%!"
+    socket_path n c max_wave;
+  (* The handler only flips a flag: the main thread polls it, so no
+     locking happens in signal context. *)
+  let stop = ref false in
+  let request_stop _ = stop := true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  while not !stop do
+    Thread.delay 0.2
+  done;
+  Printf.printf "dmw_serve: stop requested, draining...\n%!";
+  Dmw_serve_core.Front.stop front;
+  Dmw_serve_core.shutdown service;
+  let s = Dmw_serve_core.stats service in
+  Printf.printf "dmw_serve: done after %d epochs, %d jobs\n%!"
+    s.Dmw_serve_core.epochs s.Dmw_serve_core.jobs;
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      let report =
+        if Filename.check_suffix path ".prom" then Dmw_obs.Export.prometheus ()
+        else
+          Dmw_obs.Export.json_lines
+            ~meta:
+              [ ("backend", "serve"); ("n", string_of_int n);
+                ("c", string_of_int c); ("seed", string_of_int seed) ]
+            ()
+      in
+      Dmw_obs.Export.write_file ~path report;
+      Printf.printf "dmw_serve: metrics report written to %s\n%!" path);
+  0
+
+let cmd =
+  let n =
+    Arg.(value & opt int 5
+         & info [ "n"; "agents" ] ~docv:"N" ~doc:"Number of agents (machines).")
+  in
+  let c =
+    Arg.(value & opt int 1
+         & info [ "c"; "faulty" ] ~docv:"C"
+             ~doc:"Maximum number of faulty agents tolerated per wave.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Base seed; epoch e re-salts it deterministically.")
+  in
+  let group_bits =
+    Arg.(value & opt int 64
+         & info [ "group-bits" ] ~docv:"BITS"
+             ~doc:"Schnorr group size: one of 16, 32, 64, 96, 128, 256, 512.")
+  in
+  let w_max =
+    Arg.(value & opt (some int) None
+         & info [ "w-max" ] ~docv:"W"
+             ~doc:"Largest bid level (default n - c - 1).")
+  in
+  let pipeline =
+    Arg.(value & opt (some int) None
+         & info [ "pipeline" ] ~docv:"DEPTH"
+             ~doc:"Admission-window depth of each wave's task pipeline \
+                   (default: the whole wave at once).")
+  in
+  let max_wave =
+    Arg.(value & opt int 8
+         & info [ "max-wave" ] ~docv:"M"
+             ~doc:"Most jobs batched into one auction wave (epoch).")
+  in
+  let queue_capacity =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"K"
+             ~doc:"Submission-queue bound; beyond it clients are told busy.")
+  in
+  let wave_window =
+    Arg.(value & opt float 0.05
+         & info [ "wave-window" ] ~docv:"SECONDS"
+             ~doc:"How long the dispatcher lingers after a wave's first \
+                   job so closely-spaced submissions share an epoch.")
+  in
+  let epoch_timeout =
+    Arg.(value & opt float 30.0
+         & info [ "epoch-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-epoch payment-collection deadline.")
+  in
+  let socket_path =
+    Arg.(value & opt string "/tmp/dmw_serve.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on (stale files replaced).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"PATH"
+             ~doc:"Enable observability and write a report on exit: \
+                   Prometheus text when PATH ends in .prom, JSON-lines \
+                   otherwise (including the per-epoch span trees).")
+  in
+  let term =
+    Term.(const serve $ n $ c $ seed $ group_bits $ w_max $ pipeline $ max_wave
+          $ queue_capacity $ wave_window $ epoch_timeout $ socket_path
+          $ metrics)
+  in
+  Cmd.v
+    (Cmd.info "dmw_serve" ~version:"1.0.0"
+       ~doc:"Persistent DMW auction service: agents stay connected, jobs \
+             stream in, waves of auctions run per epoch.")
+    Term.(const Stdlib.exit $ term)
+
+let () = exit (Cmd.eval' cmd)

@@ -22,6 +22,12 @@ type phase = Bidding | Resolving_first | Identifying | Resolving_second | Done_
 type task_outcome = { winner : int; y_star : int; y_star2 : int }
 
 type task_state = {
+  mutable admitted : bool;
+      (* A task enters the pipeline only when the admission scheduler
+         releases it: the agent deals its bundle and publishes its
+         commitments at admission, so an unadmitted auction cannot
+         advance past Bidding (its own share is still missing) no
+         matter what peers deliver early. *)
   mutable phase : phase;
   mutable dealer : Bid_commitments.dealer option;
   shares : Share.t option array;
@@ -60,6 +66,17 @@ type t = {
       (* Hardened disclosures: per-entry binding of f rows (closes the
          eq. 13 sum gap at the cost of revealing the matching h
          shares). *)
+  pipeline : int;
+      (* Admission window: how many task auctions may be in flight at
+         once. [m] (the default) reproduces the historical full-overlap
+         behavior bit for bit; [1] is strictly sequential — task j+1's
+         commit phase starts only once task j resolved. *)
+  instance : int option;
+      (* Auction-wave discriminator for persistent services: when set,
+         every outgoing message travels in a [Messages.Scoped] envelope
+         and only envelopes carrying the same instance are accepted, so
+         interleaved or stale waves never cross streams. [None] (the
+         default, all one-shot runs) keeps the bare wire format. *)
   outbox : Messages.t list array;
       (* Pending messages per destination (reversed); flushed — as one
          Batch envelope per destination when [batching] — at the end of
@@ -95,10 +112,16 @@ let min_resolution_points params =
    rounds (partial resolution, Theorem 8 fallback) exhaust first. *)
 let watch_threshold = 4
 
-let create ?(batching = false) ?(hardened = false) ?watchdog ~params ~id ~bids
-    ~strategy ~rng () =
+let create ?(batching = false) ?(hardened = false) ?watchdog ?pipeline ?instance
+    ~params ~id ~bids ~strategy ~rng () =
   (match watchdog with
   | Some p when p <= 0.0 -> invalid_arg "Agent.create: watchdog period <= 0"
+  | Some _ | None -> ());
+  (match pipeline with
+  | Some d when d < 1 -> invalid_arg "Agent.create: pipeline depth < 1"
+  | Some _ | None -> ());
+  (match instance with
+  | Some e when e < 0 -> invalid_arg "Agent.create: negative instance"
   | Some _ | None -> ());
   let n = params.Params.n in
   if Array.length bids <> params.Params.m then
@@ -109,7 +132,8 @@ let create ?(batching = false) ?(hardened = false) ?watchdog ~params ~id ~bids
         invalid_arg "Agent.create: bid outside W")
     bids;
   let task_state () =
-    { phase = Bidding;
+    { admitted = false;
+      phase = Bidding;
       dealer = None;
       shares = Array.make n None;
       publics = Array.make n None;
@@ -136,6 +160,11 @@ let create ?(batching = false) ?(hardened = false) ?watchdog ~params ~id ~bids
     tasks = Array.init params.Params.m (fun _ -> task_state ());
     batching;
     hardened;
+    pipeline =
+      (match pipeline with
+      | Some d -> min d params.Params.m
+      | None -> params.Params.m);
+    instance;
     outbox = Array.make (n + 1) [];
     aborted = None;
     crashed = false;
@@ -149,6 +178,8 @@ let strategy t = t.strategy
 let audit t = t.audit
 let aborted t = t.aborted
 let phase_of t ~task = t.tasks.(task).phase
+let pipeline_depth t = t.pipeline
+let instance t = t.instance
 let outcome t ~task = t.tasks.(task).outcome
 let outcomes t = Array.map (fun ts -> ts.outcome) t.tasks
 let reported_payments t = Option.map Array.copy t.payments_sent
@@ -190,25 +221,33 @@ let publish tr t msg =
   done
 
 let flush (tr : transport) t =
+  (* A scoped agent wraps every wire message in its wave's envelope at
+     the send boundary; [Messages.tag] reports the payload's tag, so
+     the per-tag counters and the fault layer's identity-pure coins are
+     unchanged by the wrapping (the byte counters do see the envelope —
+     it really crosses the wire). *)
+  let wire msg =
+    match t.instance with
+    | None -> msg
+    | Some instance -> Messages.Scoped { instance; msg }
+  in
+  let send ~dst msg =
+    let msg = wire msg in
+    tr.send ~dst ~tag:(Messages.tag msg) ~bytes:(Codec.encoded_size msg) msg
+  in
   Array.iteri
     (fun dst pending ->
       match List.rev pending with
       | [] -> ()
       | [ msg ] ->
           t.outbox.(dst) <- [];
-          tr.send ~dst ~tag:(Messages.tag msg) ~bytes:(Codec.encoded_size msg) msg
+          send ~dst msg
       | msgs when t.batching ->
           t.outbox.(dst) <- [];
-          let batch = Messages.Batch msgs in
-          tr.send ~dst ~tag:(Messages.tag batch)
-            ~bytes:(Codec.encoded_size batch) batch
+          send ~dst (Messages.Batch msgs)
       | msgs ->
           t.outbox.(dst) <- [];
-          List.iter
-            (fun msg ->
-              tr.send ~dst ~tag:(Messages.tag msg)
-                ~bytes:(Codec.encoded_size msg) msg)
-            msgs)
+          List.iter (fun msg -> send ~dst msg) msgs)
     t.outbox
 
 let all_some arr = Array.for_all Option.is_some arr
@@ -232,9 +271,13 @@ let random_public t ~like =
 (* ------------------------------------------------------------------ *)
 (* Phase II: Bidding.                                                  *)
 
-let start_bidding eng t =
-  for j = 0 to t.params.Params.m - 1 do
-    let ts = t.tasks.(j) in
+(* Deal task [j]'s auction: draw the bundle, seed the agent's own
+   share, buffer the private shares and the published commitments. Run
+   once per task, when the admission scheduler releases it into the
+   pipeline. *)
+let deal_task eng t j =
+  let ts = t.tasks.(j) in
+  begin
     let tau = Params.tau_of_bid t.params t.bids.(j) in
     let dealer =
       Bid_commitments.generate t.rng ~group:(group t)
@@ -278,10 +321,7 @@ let start_bidding eng t =
     | _ ->
         publish eng t (Messages.Commitments { task = j; public = dealer.public });
         ts.publics.(t.id) <- Some dealer.public)
-  done;
-  flush eng t;
-  if Strategy.equal t.strategy Strategy.Crash_after_bidding then
-    t.crashed <- true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Phase III helpers.                                                  *)
@@ -420,8 +460,8 @@ let sums_of_shares t ts =
     (Bigint.zero, Bigint.zero) ts.shares
 
 let rec advance eng t j =
-  if active t then begin
-    let ts = t.tasks.(j) in
+  let ts = t.tasks.(j) in
+  if active t && ts.admitted then begin
     match ts.phase with
     | Bidding ->
         if all_some ts.shares && all_some ts.publics then begin
@@ -646,7 +686,10 @@ and attempt_second eng t j ts ~partial =
                 y_star = required "III.5: y_star set since first resolution" ts.y_star;
                 y_star2 };
           ts.phase <- Done_;
-          maybe_send_payments eng t
+          maybe_send_payments eng t;
+          (* A pipeline slot just freed: release the next unstarted
+             auction, if any. *)
+          admit_ready eng t
       | None ->
           if ready then abort t (Audit.Resolution_failed { stage = "second price" })
     end
@@ -688,6 +731,37 @@ and maybe_send_payments eng t =
     send_msg eng t ~dst:(n_of t) (Messages.Payment_report { payments })
   end
 
+(* The admission scheduler: release unstarted auctions, in index
+   order, while fewer than [pipeline] admitted auctions are in flight.
+   Admission deals the task (Phase II) and immediately re-examines it:
+   when this agent is the last of its peers to admit the task, all
+   their shares and commitments are already on file and no further
+   message will arrive to drive the phase machine. Messages for a task
+   admitted later buffer harmlessly in the per-sender option slots
+   until admission seeds the agent's own share. *)
+and admit_task eng t j =
+  let ts = t.tasks.(j) in
+  if not ts.admitted then begin
+    ts.admitted <- true;
+    deal_task eng t j;
+    advance eng t j
+  end
+
+and admit_ready eng t =
+  let in_flight =
+    Array.fold_left
+      (fun k ts -> if ts.admitted && ts.phase <> Done_ then k + 1 else k)
+      0 t.tasks
+  in
+  let quota = ref (t.pipeline - in_flight) in
+  Array.iteri
+    (fun j ts ->
+      if (not ts.admitted) && !quota > 0 then begin
+        decr quota;
+        admit_task eng t j
+      end)
+    t.tasks
+
 (* The timeout-driven fallback of Theorem 8: when disclosures are
    missing, the next agent in index order joins the disclosure set,
    one per timeout round. *)
@@ -708,6 +782,15 @@ and schedule_disclosure_check eng t j ts =
             end
       end)
 
+(* Run start: release the first admission window. At the default depth
+   [m] every auction is dealt up front and the whole window travels in
+   one flush — the historical behavior, bit for bit. *)
+let start_bidding eng t =
+  admit_ready eng t;
+  flush eng t;
+  if Strategy.equal t.strategy Strategy.Crash_after_bidding then
+    t.crashed <- true
+
 let rec handle_payload eng t ~src payload =
   (* A hostile or corrupted message must never crash an honest agent:
      out-of-range task ids and senders are dropped silently. *)
@@ -725,7 +808,7 @@ let rec handle_payload eng t ~src payload =
         List.iter
           (fun m ->
             match m with
-            | Messages.Batch _ -> ()
+            | Messages.Batch _ | Messages.Scoped _ -> ()
             | Messages.Share _ | Messages.Commitments _ | Messages.Lambda_psi _
             | Messages.F_disclosure _ | Messages.F_disclosure_hardened _
             | Messages.Lambda_psi_excl _ | Messages.Payment_report _ ->
@@ -792,10 +875,28 @@ let rec handle_payload eng t ~src payload =
           advance eng t task
         end
     | Messages.Payment_report _ -> ()
+    | Messages.Scoped _ ->
+        (* Envelopes are opened (and instance-checked) in [handle];
+           one that reaches the payload layer is malformed. *)
+        ()
   end
 
 let handle eng t ~src payload =
-  handle_payload eng t ~src payload;
+  (* The wave filter: a scoped agent accepts only envelopes carrying
+     its own instance — bare frames and foreign or stale waves are
+     dropped before they can touch protocol state. An unscoped agent
+     (every one-shot run) accepts only bare frames, exactly as
+     before. *)
+  (match payload with
+  | Messages.Scoped { instance; msg } -> (
+      match t.instance with
+      | Some e when e = instance -> handle_payload eng t ~src msg
+      | Some _ | None -> ())
+  | Messages.Share _ | Messages.Commitments _ | Messages.Lambda_psi _
+  | Messages.F_disclosure _ | Messages.F_disclosure_hardened _
+  | Messages.Lambda_psi_excl _ | Messages.Payment_report _ | Messages.Batch _
+    ->
+      if Option.is_none t.instance then handle_payload eng t ~src payload);
   flush eng t
 
 let phase_name = function
@@ -823,6 +924,7 @@ let progress_signature t =
   let mixi v = h := (!h * 131) + v + 1 in
   Array.iter
     (fun ts ->
+      mixi (if ts.admitted then 1 else 0);
       mixi (phase_index ts.phase);
       mixi (count_some ts.shares);
       mixi (count_some ts.publics);

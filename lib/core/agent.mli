@@ -45,8 +45,9 @@ type task_outcome = {
 type t
 
 val create :
-  ?batching:bool -> ?hardened:bool -> ?watchdog:float -> params:Params.t ->
-  id:int -> bids:int array -> strategy:Strategy.t -> rng:Prng.t -> unit -> t
+  ?batching:bool -> ?hardened:bool -> ?watchdog:float -> ?pipeline:int ->
+  ?instance:int -> params:Params.t -> id:int -> bids:int array ->
+  strategy:Strategy.t -> rng:Prng.t -> unit -> t
 (** [bids.(j)] is the level this agent bids for task [j] (must satisfy
     {!Params.valid_bid}); a misreporting agent is created by passing a
     bid vector that differs from its true values. With
@@ -70,7 +71,29 @@ val create :
     peer explains the stall. The period must comfortably exceed the
     protocol's internal timeouts (50 ms) so built-in recovery exhausts
     first. Default off: runs then keep the legacy run-to-quiescence
-    [Stalled] semantics. *)
+    [Stalled] semantics.
+
+    [~pipeline:depth] (clamped to [\[1, m\]], default [m]) bounds how
+    many task auctions may be in flight at once. The [m] auctions are
+    independent protocol instances, so the historical behavior —
+    reproduced bit for bit by the default — deals and overlaps all of
+    them from the start; [~pipeline:1] is strictly sequential (task
+    [j+1]'s commit phase begins only once task [j] resolved), and
+    intermediate depths slide a window over the task list: whenever an
+    auction reaches [Done_], the admission scheduler releases the next
+    unstarted one. Because each agent's final per-task state is a
+    function of the delivered message set (confluence), every depth
+    yields the same outcomes, payments and fault-free message counts;
+    only completion latency changes. All agents of a run must agree on
+    the depth.
+
+    [~instance:e] tags the agent as part of auction wave [e] of a
+    persistent service: every outgoing message is wrapped in a
+    {!Messages.Scoped} envelope carrying [e], and only envelopes with
+    the same instance are accepted — frames from stale or interleaved
+    waves on a long-lived connection are dropped at the door. Default
+    [None]: bare wire format, bare frames accepted (all one-shot
+    runs). *)
 
 (** How an agent talks to the world. [Dmw_exec]'s backends build one
     each: from the discrete-event engine, from real mailboxes and
@@ -91,6 +114,13 @@ val strategy : t -> Strategy.t
 val audit : t -> Audit.t
 val aborted : t -> Audit.reason option
 val phase_of : t -> task:int -> phase
+
+val pipeline_depth : t -> int
+(** The effective admission-window size (after clamping to [m]). *)
+
+val instance : t -> int option
+(** The auction-wave discriminator, if this agent is scoped. *)
+
 val outcome : t -> task:int -> task_outcome option
 
 val outcomes : t -> task_outcome option array

@@ -25,6 +25,7 @@ type agent_status = {
 type result = {
   params : Params.t;
   backend : string;
+  pipeline : int;
   schedule : Dmw_mechanism.Schedule.t option;
   first_prices : int array option;
   second_prices : int array option;
@@ -286,7 +287,7 @@ module Sim_backend = struct
         | Messages.Payment_report { payments } -> report ~src:d.Engine.src payments
         | Messages.Share _ | Messages.Commitments _ | Messages.Lambda_psi _
         | Messages.F_disclosure _ | Messages.F_disclosure_hardened _
-        | Messages.Lambda_psi_excl _ | Messages.Batch _ ->
+        | Messages.Lambda_psi_excl _ | Messages.Batch _ | Messages.Scoped _ ->
             (* The infrastructure node only understands payment reports;
                anything else addressed to it is a protocol bug upstream
                and is dropped, not silently half-handled. *)
@@ -401,7 +402,8 @@ module Thread_backend = struct
                     | Messages.Share _ | Messages.Commitments _
                     | Messages.Lambda_psi _ | Messages.F_disclosure _
                     | Messages.F_disclosure_hardened _
-                    | Messages.Lambda_psi_excl _ | Messages.Batch _ ->
+                    | Messages.Lambda_psi_excl _ | Messages.Batch _
+                    | Messages.Scoped _ ->
                         ()
                   else if dst >= 0 && dst < n then
                     Mailbox.push boxes.(dst) (Deliver { src = i; msg }));
@@ -485,7 +487,8 @@ module Socket_backend = struct
                     ( Messages.Share _ | Messages.Commitments _
                     | Messages.Lambda_psi _ | Messages.F_disclosure _
                     | Messages.F_disclosure_hardened _
-                    | Messages.Lambda_psi_excl _ | Messages.Batch _ )
+                    | Messages.Lambda_psi_excl _ | Messages.Batch _
+                    | Messages.Scoped _ )
                 | Error _ ->
                     (* Not a report: skip it without consuming the
                        caller's one-report budget. *)
@@ -539,16 +542,20 @@ let validate_bids (params : Params.t) bids =
 
 (* One protocol execution over a fixed agent population. *)
 let run_attempt ~strategies ~seed ~keep_events ~batching ~hardened ~watchdog
-    ~faults ~backend (params : Params.t) ~bids =
+    ~pipeline ~faults ~backend (params : Params.t) ~bids =
   validate_bids params bids;
   let n = params.n in
+  let depth =
+    match pipeline with Some d -> min d params.m | None -> params.m
+  in
   (* The master RNG and per-agent split order are the seeding
      convention shared by every backend: same seed, same agents, same
      outcome regardless of message interleaving. *)
   let master_rng = Prng.create ~seed:(seed lxor 0xA6E77) in
   let agents =
     Array.init n (fun i ->
-        Agent.create ~batching ~hardened ?watchdog ~params ~id:i ~bids:bids.(i)
+        Agent.create ~batching ~hardened ?watchdog ?pipeline ~params ~id:i
+          ~bids:bids.(i)
           ~strategy:(strategies i)
           ~rng:(Prng.split master_rng) ())
   in
@@ -573,6 +580,9 @@ let run_attempt ~strategies ~seed ~keep_events ~batching ~hardened ~watchdog
   Obs.Metrics.set
     ~labels:[ ("backend", B.name) ]
     "dmw_run_duration_seconds" info.duration;
+  Obs.Metrics.set
+    ~labels:[ ("backend", B.name) ]
+    "dmw_pipeline_depth" (float_of_int depth);
   Array.iter Agent.finalize_stall agents;
   let statuses =
     Array.map
@@ -612,6 +622,7 @@ let run_attempt ~strategies ~seed ~keep_events ~batching ~hardened ~watchdog
   let payments = Payment_infra.settle infra ~quorum:(n - params.c) in
   { params;
     backend = B.name;
+    pipeline = depth;
     schedule;
     first_prices;
     second_prices;
@@ -691,8 +702,12 @@ let completed_attempt r =
 
 let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
     ?(keep_events = true) ?(batching = false) ?(hardened = false) ?faults
-    ?watchdog ?(retries = 0) ?(backend = sim ()) (params : Params.t) ~bids =
+    ?watchdog ?(retries = 0) ?pipeline ?(backend = sim ()) (params : Params.t)
+    ~bids =
   if retries < 0 then invalid_arg "Dmw_exec.run: negative retries";
+  (match pipeline with
+  | Some d when d < 1 -> invalid_arg "Dmw_exec.run: pipeline depth < 1"
+  | Some _ | None -> ());
   (* Crash detection is armed exactly when an adverse environment is
      declared; fault-free runs keep the legacy run-to-quiescence
      Stalled semantics that the deviation experiments rely on. *)
@@ -708,7 +723,8 @@ let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
     let r =
       run_attempt ~strategies
         ~seed:(seed + (7919 * (attempt - 1)))
-        ~keep_events ~batching ~hardened ~watchdog ~faults ~backend params ~bids
+        ~keep_events ~batching ~hardened ~watchdog ~pipeline ~faults ~backend
+        params ~bids
     in
     let give_up () = remap_result ~params0 ~orig ~frozen ~attempt r in
     if completed_attempt r || attempt > retries then give_up ()
@@ -843,6 +859,9 @@ let pp_summary fmt r =
       (* A quorum can complete around an aborted straggler; surface
          the audit verdicts either way. *)
       pp_aborts ());
+  if r.pipeline < r.params.Params.m then
+    Format.fprintf fmt "pipeline depth = %d of %d tasks@," r.pipeline
+      r.params.Params.m;
   Format.fprintf fmt "messages = %d, bytes = %d, %s = %.3f s [%s backend]@]"
     (Trace.messages r.trace) (Trace.bytes r.trace)
     (if r.backend = "sim" then "virtual time" else "wall time")

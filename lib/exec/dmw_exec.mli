@@ -28,6 +28,10 @@ type agent_status = {
 type result = {
   params : Params.t;
   backend : string;  (** Name of the backend that produced this run. *)
+  pipeline : int;
+      (** Effective pipeline depth of the run: how many task auctions
+          were allowed in flight at once (see [run]'s [?pipeline]);
+          [params.m] for the default full-overlap execution. *)
   schedule : Dmw_mechanism.Schedule.t option;
       (** Present iff every non-deviating agent resolved every auction
           and they all agree. *)
@@ -73,6 +77,32 @@ val apply_faults :
     duplicate copies reschedule delivery through the transport's own
     timer. Exposed so every backend — and any future one — injects the
     identical policy. *)
+
+(** Observability aggregation at the transport boundary, shared by the
+    in-process backends and by the persistent [dmw_serve] service. All
+    counting is gated on {!Dmw_obs.Metrics.enabled}; the span state is
+    module-global (one instrumented run at a time — [reset] before,
+    [emit] after). *)
+module Obs : sig
+  val reset : unit -> unit
+  (** Clear the per-run span aggregation cells. *)
+
+  val transport :
+    backend:string ->
+    now:(unit -> float) ->
+    src:int ->
+    Dmw_core.Agent.transport ->
+    Dmw_core.Agent.transport
+  (** Wrap a transport so every send bumps the per-tag message/byte
+      counters and timestamps its task's phase cell. *)
+
+  val recv : backend:string -> unit
+  (** Count one delivery into an agent. *)
+
+  val emit : backend:string -> unit
+  (** Materialize the aggregated run > task auction > phase span tree
+      for the finished run. *)
+end
 
 (** A message fabric. [execute] runs Phases II–IV of the prepared
     [agents] to completion (or to its own notion of a deadline),
@@ -140,6 +170,7 @@ val run :
   ?faults:Dmw_sim.Fault.t ->
   ?watchdog:float ->
   ?retries:int ->
+  ?pipeline:int ->
   ?backend:backend ->
   Params.t ->
   bids:int array array ->
@@ -162,6 +193,18 @@ val run :
     0.25 s default period), so a run that can no longer progress ends
     in a clean audited abort ({!Dmw_core.Audit.Peer_silent} /
     [Deadline_exceeded]) rather than a hang.
+
+    [pipeline] bounds how many of the [m] independent task auctions may
+    be in flight per agent at once (clamped to [\[1, m\]]). The default
+    is [m]: all auctions overlap from the start — the historical
+    behavior, bit for bit. [~pipeline:1] runs the tasks strictly
+    sequentially; intermediate depths slide an admission window over
+    the task list. Outcomes, payments and fault-free message/byte
+    counters are depth-invariant (the per-task state machines are
+    confluent and depth only changes {e when} each message is sent);
+    completion latency is what varies — visible in [duration] under a
+    sim latency model, and in the obs span tree as overlapping (or, at
+    depth 1, disjoint) task-auction spans.
 
     [retries] (default 0) allows re-auctioning: when an attempt ends
     with only environmental aborts and a quorum of agents survives the

@@ -7,6 +7,29 @@
     are decoded, and malformed ones dropped. The loop exits when a
     {!Fabric.stop_src} frame arrives or the socket closes. *)
 
+type outcome = [ `Stop | `Epoch_end ]
+(** Why a session ended: [`Stop] (empty-payload control frame, socket
+    closed, or I/O error — the connection is done) or [`Epoch_end] (a
+    non-empty control frame, {!Fabric.broadcast_epoch}: the wave is
+    over but the connection stays up for the next one). *)
+
+val run_session :
+  ?wrap:(Dmw_core.Agent.transport -> Dmw_core.Agent.transport) ->
+  ?on_recv:(src:int -> unit) ->
+  fd:Unix.file_descr ->
+  agent:Dmw_core.Agent.t ->
+  on_send:(dst:int -> tag:string -> bytes:int -> unit) ->
+  unit ->
+  outcome
+(** Runs Phases II–IV of [agent] over [fd] until a control frame (or
+    socket failure) ends the session, and says which kind did. On
+    [`Epoch_end] the fd is left open and drained up to the barrier:
+    a persistent service ([dmw_serve]) calls [run_session] again on
+    the same fd with the next wave's agent. Frames of the finished
+    epoch still in flight are dropped by the next agent's
+    {!Dmw_core.Messages.Scoped} instance filter. Callback contract as
+    for {!run_agent}. *)
+
 val run_agent :
   ?wrap:(Dmw_core.Agent.transport -> Dmw_core.Agent.transport) ->
   ?on_recv:(src:int -> unit) ->

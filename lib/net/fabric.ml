@@ -164,6 +164,18 @@ let broadcast_stop t =
         with Unix.Unix_error (_, _, _) -> ()
       end)
 
+let broadcast_epoch t ~instance =
+  if instance < 0 then invalid_arg "Fabric.broadcast_epoch: negative instance";
+  Dmw_runtime.Mutex_util.with_lock t.control_mutex (fun () ->
+      (* The barrier is a control frame with a non-empty payload, so
+         endpoints can tell it from the (empty) full stop. After the
+         stop it would only race the close — drop it. *)
+      if not t.stop_sent then
+        try
+          Frame.write t.control_fd ~src:stop_src ~dst:broadcast_dst
+            (Printf.sprintf "epoch:%d" instance)
+        with Unix.Unix_error (_, _, _) -> ())
+
 let shutdown t =
   broadcast_stop t;
   (* Closing the driver side of the control channel is the router's

@@ -32,6 +32,14 @@ val broadcast_stop : t -> unit
 (** Ask the router to deliver a [stop_src] frame to every endpoint.
     Idempotent and thread-safe. *)
 
+val broadcast_epoch : t -> instance:int -> unit
+(** Deliver an {e epoch barrier} to every endpoint: a [stop_src] frame
+    with a non-empty payload naming the finished wave. Endpoints
+    running {!Endpoint.run_session} return [`Epoch_end] and keep their
+    connection; a persistent service sends one per auction wave, then
+    a final {!broadcast_stop} at shutdown. Thread-safe; a no-op after
+    the stop was sent. *)
+
 val shutdown : t -> unit
 (** [broadcast_stop], stop and join the router, close every file
     descriptor. Call after the endpoint threads have been joined. *)

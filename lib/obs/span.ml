@@ -78,3 +78,27 @@ let reset () =
   with_lock (fun () ->
       Hashtbl.reset live;
       finished := [])
+
+let overlap a b =
+  Float.max 0.0
+    (Float.min a.t_stop b.t_stop -. Float.max a.t_start b.t_start)
+
+let max_concurrency spans =
+  (* Sweep the interval endpoints: +1 at each start, -1 at each stop.
+     Stops sort before starts at equal times, so back-to-back spans
+     (a.t_stop = b.t_start) do not count as concurrent. *)
+  let events =
+    List.concat_map (fun s -> [ (s.t_start, 1); (s.t_stop, -1) ]) spans
+    |> List.sort (fun (ta, da) (tb, db) ->
+           match Float.compare ta tb with
+           | 0 -> Int.compare da db
+           | c -> c)
+  in
+  let _, peak =
+    List.fold_left
+      (fun (depth, peak) (_, d) ->
+        let depth = depth + d in
+        (depth, max peak depth))
+      (0, 0) events
+  in
+  peak

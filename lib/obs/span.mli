@@ -49,3 +49,16 @@ val completed : unit -> completed list
     open are not reported. *)
 
 val reset : unit -> unit
+
+val overlap : completed -> completed -> float
+(** Length of the temporal intersection of two spans (0 when they are
+    disjoint). How the tests {e prove} pipelining: at depth > 1 the
+    task-auction spans of a run overlap pairwise; at depth 1 they
+    don't. *)
+
+val max_concurrency : completed list -> int
+(** The peak number of simultaneously open intervals among [spans]
+    (0 for the empty list). Back-to-back spans sharing an endpoint do
+    not count as concurrent, so a strictly sequential depth-1 run
+    reports 1 — the pipeline depth as the trace actually witnessed
+    it. *)

@@ -1,0 +1,64 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity < 1";
+  { mutex = Mutex.create (); nonempty = Condition.create ();
+    queue = Queue.create (); capacity; closed = false }
+
+let try_push t v =
+  Mutex_util.with_lock t.mutex (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.queue >= t.capacity then `Full
+      else begin
+        Queue.push v t.queue;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let close t =
+  Mutex_util.with_lock t.mutex (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let pop ?timeout t =
+  let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) timeout in
+  let rec attempt () =
+    let r =
+      Mutex_util.with_lock t.mutex (fun () ->
+          let rec wait () =
+            if not (Queue.is_empty t.queue) then `Item (Queue.pop t.queue)
+            else if t.closed then `Done
+            else
+              match deadline with
+              | None ->
+                  Condition.wait t.nonempty t.mutex;
+                  wait ()
+              | Some dl -> if Unix.gettimeofday () >= dl then `Done else `Poll
+          in
+          wait ())
+    in
+    match r with
+    | `Item v -> Some v
+    | `Done -> None
+    | `Poll ->
+        (* Condition.wait has no timeout in the stdlib: poll with a
+           short sleep while the lock is released. *)
+        Thread.delay 0.002;
+        attempt ()
+  in
+  attempt ()
+
+let pop_all t =
+  Mutex_util.with_lock t.mutex (fun () ->
+      let drained = List.of_seq (Queue.to_seq t.queue) in
+      Queue.clear t.queue;
+      drained)
+
+let length t = Mutex_util.with_lock t.mutex (fun () -> Queue.length t.queue)
+let is_closed t = Mutex_util.with_lock t.mutex (fun () -> t.closed)

@@ -1,0 +1,34 @@
+(** Thread-safe bounded FIFO with refusal-style backpressure.
+
+    The submission queue of the persistent auction service
+    ([dmw_serve]): producers (client connections) offer jobs with
+    {!try_push} and are told [`Full] when the service is saturated —
+    the caller surfaces "busy" to its client instead of buffering
+    without bound — while one consumer (the epoch dispatcher) drains
+    with {!pop}/{!pop_all}. Contrast {!Mailbox}, the unbounded
+    never-blocks building block of the in-process backends. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity >= 1] is the maximum number of queued elements. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Never blocks: refuse with [`Full] at capacity and [`Closed] after
+    {!close}. *)
+
+val close : 'a t -> unit
+(** Stop accepting: wakes every blocked {!pop}. Consumers drain
+    whatever was queued before the close, then receive [None]. *)
+
+val pop : ?timeout:float -> 'a t -> 'a option
+(** Blocks until an element is available; [None] on timeout (seconds)
+    or when the queue is closed and drained. *)
+
+val pop_all : 'a t -> 'a list
+(** Drain everything queued right now, oldest first — the epoch
+    dispatcher's wave collection. Never blocks. *)
+
+val length : 'a t -> int
+
+val is_closed : 'a t -> bool

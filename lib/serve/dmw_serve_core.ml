@@ -1,0 +1,531 @@
+open Dmw_bigint
+open Dmw_core
+open Dmw_runtime
+open Dmw_net
+
+(* The persistent auction service: one long-lived fabric, n worker
+   threads holding their endpoint sessions across epochs, and a
+   dispatcher thread that batches queued jobs into waves. See the mli
+   for the concurrency contract and DESIGN.md for the epoch/barrier
+   protocol. *)
+
+type config = {
+  n : int;
+  c : int;
+  group_bits : int;
+  seed : int;
+  w_max : int option;
+  pipeline : int option;
+  max_wave : int;
+  queue_capacity : int;
+  wave_window : float;
+  epoch_timeout : float;
+}
+
+let config ?(group_bits = 64) ?(seed = 0) ?w_max ?pipeline ?(max_wave = 8)
+    ?(queue_capacity = 64) ?(wave_window = 0.0) ?(epoch_timeout = 30.0) ~n ~c
+    () =
+  if max_wave < 1 then invalid_arg "Dmw_serve_core.config: max_wave < 1";
+  if queue_capacity < 1 then
+    invalid_arg "Dmw_serve_core.config: queue_capacity < 1";
+  if wave_window < 0.0 then
+    invalid_arg "Dmw_serve_core.config: negative wave_window";
+  if epoch_timeout <= 0.0 then
+    invalid_arg "Dmw_serve_core.config: non-positive epoch_timeout";
+  (match pipeline with
+  | Some d when d < 1 -> invalid_arg "Dmw_serve_core.config: pipeline < 1"
+  | Some _ | None -> ());
+  { n; c; group_bits; seed; w_max; pipeline; max_wave; queue_capacity;
+    wave_window; epoch_timeout }
+
+type job = { id : int; w_vector : int array }
+
+type job_result = {
+  job : int;
+  epoch : int;
+  task : int;
+  outcome : Agent.task_outcome option;
+  error : string option;
+}
+
+type t = {
+  cfg : config;
+  w_max : int;  (* resolved bid-range bound, for submit-time checks *)
+  t0 : float;  (* service birth; the obs clock every span shares *)
+  fabric : Fabric.t;
+  queue : job Bounded_queue.t;
+  boxes : Agent.t Mailbox.t array;  (* per-worker: next epoch's agent *)
+  done_box : unit Mailbox.t;  (* workers signal end-of-epoch here *)
+  mutable workers : Thread.t array;
+  mutable dispatcher : Thread.t option;
+  (* Submission side. *)
+  smutex : Mutex.t;
+  mutable next_job : int;
+  (* Result side: published under rmutex, watched through rcond. *)
+  rmutex : Mutex.t;
+  rcond : Condition.t;
+  results : (int, job_result) Hashtbl.t;
+  mutable epochs : int;
+  mutable jobs_done : int;
+  mutable stopped : bool;
+  (* Dispatcher gate for deterministic test setup. *)
+  pmutex : Mutex.t;
+  pcond : Condition.t;
+  mutable paused : bool;
+}
+
+let backend_label = "serve"
+let obs_labels = [ ("backend", backend_label) ]
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One thread per agent endpoint, alive for the whole service: each
+   epoch the dispatcher hands it a fresh agent (instance-scoped to the
+   epoch) and it runs one endpoint session over the same fd. The
+   done_box push must precede the outcome dispatch so the dispatcher's
+   barrier wait can never miss a worker that is about to exit. *)
+let worker t i () =
+  let fd = Fabric.endpoint_fd t.fabric i in
+  let now () = Unix.gettimeofday () -. t.t0 in
+  let rec loop () =
+    match Mailbox.pop t.boxes.(i) with
+    | None -> ()
+    | Some agent ->
+        let outcome =
+          Endpoint.run_session
+            ~wrap:(Dmw_exec.Obs.transport ~backend:backend_label ~now ~src:i)
+            ~on_recv:(fun ~src:_ -> Dmw_exec.Obs.recv ~backend:backend_label)
+            ~fd ~agent
+            ~on_send:(fun ~dst:_ ~tag:_ ~bytes:_ -> ())
+            ()
+        in
+        Mailbox.push t.done_box ();
+        (match outcome with `Epoch_end -> loop () | `Stop -> ())
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let publish t r =
+  Mutex_util.with_lock t.rmutex (fun () ->
+      Hashtbl.replace t.results r.job r;
+      t.jobs_done <- t.jobs_done + 1;
+      Condition.broadcast t.rcond)
+
+let await t id =
+  Mutex_util.with_lock t.rmutex (fun () ->
+      let rec wait () =
+        match Hashtbl.find_opt t.results id with
+        | Some r -> Some r
+        | None ->
+            if t.stopped then None
+            else begin
+              Condition.wait t.rcond t.rmutex;
+              wait ()
+            end
+      in
+      wait ())
+
+type stats = { epochs : int; jobs : int; queue_depth : int }
+
+let stats t =
+  Mutex_util.with_lock t.rmutex (fun () ->
+      { epochs = t.epochs; jobs = t.jobs_done;
+        queue_depth = Bounded_queue.length t.queue })
+
+(* ------------------------------------------------------------------ *)
+(* Epochs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Drain this epoch's payment reports from the infrastructure endpoint
+   (fd n). Only Scoped reports naming the current epoch count — a
+   report from a previous wave still sitting in the socket buffer must
+   not feed this wave's settlement. Mirrors the one-shot socket
+   backend's collector, with the same early exit once every agent has
+   reported, aborted, or dispatched its Phase IV send. *)
+let collect_reports t ~epoch ~agents ~infra =
+  let n = t.cfg.n in
+  let infra_fd = Fabric.endpoint_fd t.fabric n in
+  let deadline = Unix.gettimeofday () +. t.cfg.epoch_timeout in
+  let grace = 0.25 in
+  let received = Hashtbl.create n in
+  let finished () =
+    Array.for_all
+      (fun a ->
+        Hashtbl.mem received (Agent.id a)
+        || Option.is_some (Agent.aborted a)
+        || Option.is_some (Agent.reported_payments a))
+      agents
+  in
+  let finished_at = ref None in
+  let continue_ = ref true in
+  while !continue_ && Hashtbl.length received < n do
+    let now = Unix.gettimeofday () in
+    (match !finished_at with
+    | None -> if finished () then finished_at := Some now
+    | Some _ -> ());
+    let stop_at =
+      match !finished_at with
+      | Some at -> Float.min deadline (at +. grace)
+      | None -> deadline
+    in
+    let remaining = stop_at -. now in
+    if remaining <= 0.0 then continue_ := false
+    else
+      match Unix.select [ infra_fd ] [] [] (Float.min remaining 0.05) with
+      | [], _, _ -> ()
+      | _ -> (
+          match Frame.read infra_fd with
+          | `Closed -> continue_ := false
+          | `Frame (src, _, payload) -> (
+              match Codec.decode payload with
+              | Ok
+                  (Messages.Scoped
+                     { instance; msg = Messages.Payment_report { payments } })
+                when instance = epoch ->
+                  if src >= 0 && src < n && not (Hashtbl.mem received src)
+                  then begin
+                    Hashtbl.replace received src ();
+                    Payment_infra.receive infra ~from_:src payments
+                  end
+              | Ok (Messages.Scoped _)
+              | Ok
+                  ( Messages.Share _ | Messages.Commitments _
+                  | Messages.Lambda_psi _ | Messages.F_disclosure _
+                  | Messages.F_disclosure_hardened _
+                  | Messages.Lambda_psi_excl _ | Messages.Payment_report _
+                  | Messages.Batch _ )
+              | Error _ ->
+                  ()))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let run_epoch t wave =
+  let epoch = Mutex_util.with_lock t.rmutex (fun () -> t.epochs + 1) in
+  let n = t.cfg.n in
+  let m = Array.length wave in
+  let params =
+    Params.make_exn ~group_bits:t.cfg.group_bits ~seed:t.cfg.seed
+      ?w_max:t.cfg.w_max ~n ~m ~c:t.cfg.c ()
+  in
+  (* Epoch seeding: wave 1 of a service seeded with s is bit-for-bit
+     Dmw_exec.run ~seed:s on the same jobs; later waves re-salt with
+     the same stride the one-shot runner uses between attempts. *)
+  let epoch_seed = t.cfg.seed + (7919 * (epoch - 1)) in
+  let master_rng = Prng.create ~seed:(epoch_seed lxor 0xA6E77) in
+  let agents =
+    Array.init n (fun i ->
+        Agent.create ?pipeline:t.cfg.pipeline ~instance:epoch ~params ~id:i
+          ~bids:(Array.map (fun job -> job.w_vector.(i)) wave)
+          ~strategy:Strategy.Suggested
+          ~rng:(Prng.split master_rng) ())
+  in
+  Dmw_exec.Obs.reset ();
+  let e0 = Unix.gettimeofday () in
+  let infra = Payment_infra.create ~n in
+  Array.iteri (fun i a -> Mailbox.push t.boxes.(i) a) agents;
+  collect_reports t ~epoch ~agents ~infra;
+  (* Barrier: end every endpoint session, then wait for all n workers
+     to acknowledge before the next wave's agents are dealt — a worker
+     still draining epoch e must never receive epoch e+1's agent
+     before its session returns. *)
+  Fabric.broadcast_epoch t.fabric ~instance:epoch;
+  for _ = 1 to n do
+    ignore (Mailbox.pop ~timeout:t.cfg.epoch_timeout t.done_box : unit option)
+  done;
+  Array.iter Agent.finalize_stall agents;
+  let duration = Unix.gettimeofday () -. e0 in
+  Dmw_exec.Obs.emit ~backend:backend_label;
+  let module Metrics = Dmw_obs.Metrics in
+  Metrics.observe ~labels:obs_labels "dmw_serve_epoch_seconds" duration;
+  Metrics.bump ~labels:obs_labels "dmw_serve_epochs_total" 1;
+  Metrics.bump ~labels:obs_labels "dmw_serve_jobs_total" m;
+  Metrics.set ~labels:obs_labels "dmw_serve_queue_depth"
+    (float_of_int (Bounded_queue.length t.queue));
+  let schedule = Agent.consensus agents ~c:t.cfg.c in
+  let resolved =
+    Array.to_list agents
+    |> List.find_opt (fun a ->
+           Option.is_none (Agent.aborted a)
+           && Array.for_all Option.is_some (Agent.outcomes a))
+  in
+  let settled = Payment_infra.settle infra ~quorum:(n - t.cfg.c) in
+  Metrics.bump ~labels:obs_labels "dmw_serve_settled_total"
+    (Array.fold_left
+       (fun k p -> if Option.is_some p then k + 1 else k)
+       0 settled);
+  Mutex_util.with_lock t.rmutex (fun () -> t.epochs <- epoch);
+  Array.iteri
+    (fun j job ->
+      let outcome =
+        match (schedule, resolved) with
+        | Some _, Some a -> (Agent.outcomes a).(j)
+        | (Some _ | None), _ -> None
+      in
+      let error =
+        match outcome with
+        | Some _ -> None
+        | None -> Some "wave failed: no consensus"
+      in
+      publish t { job = job.id; epoch; task = j; outcome; error })
+    wave
+
+let fail_wave t wave message =
+  Array.iteri
+    (fun j job ->
+      publish t
+        { job = job.id; epoch = t.epochs + 1; task = j; outcome = None;
+          error = Some message })
+    wave
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let wait_resumed t =
+  Mutex_util.with_lock t.pmutex (fun () ->
+      while t.paused do
+        Condition.wait t.pcond t.pmutex
+      done)
+
+(* Take everything already queued, up to the wave bound. *)
+let rec fill_wave t acc k =
+  if k = 0 then List.rev acc
+  else
+    match Bounded_queue.pop ~timeout:0.0 t.queue with
+    | None -> List.rev acc
+    | Some job -> fill_wave t (job :: acc) (k - 1)
+
+let rec dispatch t =
+  wait_resumed t;
+  match Bounded_queue.pop t.queue with
+  | None -> ()  (* closed and drained: shutdown *)
+  | Some first ->
+      if t.cfg.wave_window > 0.0 then Thread.delay t.cfg.wave_window;
+      let wave = Array.of_list (fill_wave t [ first ] (t.cfg.max_wave - 1)) in
+      (try run_epoch t wave
+       with exn -> fail_wave t wave (Printexc.to_string exn));
+      dispatch t
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let resume t =
+  Mutex_util.with_lock t.pmutex (fun () ->
+      t.paused <- false;
+      Condition.broadcast t.pcond)
+
+let create ?(paused = false) cfg =
+  match
+    Params.make ~group_bits:cfg.group_bits ~seed:cfg.seed ?w_max:cfg.w_max
+      ~n:cfg.n ~m:1 ~c:cfg.c ()
+  with
+  | Error e -> invalid_arg ("Dmw_serve_core.create: " ^ e)
+  | Ok probe ->
+      let t =
+        { cfg;
+          w_max = probe.Params.w_max;
+          t0 = Unix.gettimeofday ();
+          fabric = Fabric.create ~endpoints:(cfg.n + 1);
+          queue = Bounded_queue.create ~capacity:cfg.queue_capacity;
+          boxes = Array.init cfg.n (fun _ -> Mailbox.create ());
+          done_box = Mailbox.create ();
+          workers = [||];
+          dispatcher = None;
+          smutex = Mutex.create ();
+          next_job = 0;
+          rmutex = Mutex.create ();
+          rcond = Condition.create ();
+          results = Hashtbl.create 64;
+          epochs = 0;
+          jobs_done = 0;
+          stopped = false;
+          pmutex = Mutex.create ();
+          pcond = Condition.create ();
+          paused }
+      in
+      t.workers <- Array.init cfg.n (fun i -> Thread.create (worker t i) ());
+      t.dispatcher <- Some (Thread.create dispatch t);
+      t
+
+let submit t ~bids =
+  if Array.length bids <> t.cfg.n then
+    `Invalid
+      (Printf.sprintf "expected %d bid levels, got %d" t.cfg.n
+         (Array.length bids))
+  else if not (Array.for_all (fun w -> w >= 1 && w <= t.w_max) bids) then
+    `Invalid (Printf.sprintf "bid levels must lie in 1..%d" t.w_max)
+  else
+    Mutex_util.with_lock t.smutex (fun () ->
+        let id = t.next_job in
+        match Bounded_queue.try_push t.queue { id; w_vector = bids } with
+        | `Ok ->
+            t.next_job <- id + 1;
+            `Accepted id
+        | `Full -> `Busy
+        | `Closed -> `Closed)
+
+let shutdown t =
+  Bounded_queue.close t.queue;
+  resume t;  (* a paused dispatcher must still wake up to drain *)
+  (match t.dispatcher with
+  | Some th ->
+      Thread.join th;
+      t.dispatcher <- None
+  | None -> ());
+  (* The dispatcher waits out every epoch's barrier before returning,
+     so at this point all workers idle in their mailboxes. *)
+  Array.iter Mailbox.close t.boxes;
+  Fabric.broadcast_stop t.fabric;
+  Array.iter Thread.join t.workers;
+  Mailbox.close t.done_box;
+  Fabric.shutdown t.fabric;
+  Mutex_util.with_lock t.rmutex (fun () ->
+      t.stopped <- true;
+      Condition.broadcast t.rcond)
+
+(* ------------------------------------------------------------------ *)
+(* Front door                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Front = struct
+  type server = {
+    listen_fd : Unix.file_descr;
+    path : string;
+    accept_thread : Thread.t;
+    closing : bool ref;
+  }
+
+  let write_line fd line =
+    let s = line ^ "\n" in
+    let len = String.length s in
+    let rec go off =
+      if off < len then
+        let k = Unix.write_substring fd s off (len - off) in
+        go (off + k)
+    in
+    go 0
+
+  let result_line (r : job_result) =
+    match r.outcome with
+    | Some o ->
+        Printf.sprintf "result %d epoch=%d task=%d winner=%d ystar=%d ystar2=%d"
+          r.job r.epoch r.task o.Agent.winner o.Agent.y_star o.Agent.y_star2
+    | None ->
+        Printf.sprintf "failed %d %s" r.job
+          (Option.value r.error ~default:"unknown")
+
+  let parse_bids s =
+    match
+      String.split_on_char ',' s
+      |> List.map (fun field -> int_of_string_opt (String.trim field))
+    with
+    | fields when List.for_all Option.is_some fields ->
+        Some (Array.of_list (List.filter_map Fun.id fields))
+    | _ -> None
+
+  (* Reply tokens queued by the reader, resolved in order by the
+     writer. [`Result] blocks the writer in [await] — which is what
+     keeps replies in submission order while letting the reader keep
+     accepting pipelined submissions for the same wave. *)
+  type reply = Line of string | Result of int
+
+  let reader t fd replies () =
+    let ic = Unix.in_channel_of_descr fd in
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | exception Sys_error _ -> ()
+      | line -> (
+          let line = String.trim line in
+          if line = "quit" then ()
+          else begin
+            (if line = "" then ()
+             else if line = "stats" then begin
+               let s = stats t in
+               Mailbox.push replies
+                 (Line
+                    (Printf.sprintf "stats epochs=%d jobs=%d queue=%d" s.epochs
+                       s.jobs s.queue_depth))
+             end
+             else
+               match
+                 if String.length line > 7 && String.sub line 0 7 = "submit "
+                 then parse_bids (String.sub line 7 (String.length line - 7))
+                 else None
+               with
+               | Some bids -> (
+                   match submit t ~bids with
+                   | `Accepted id -> Mailbox.push replies (Result id)
+                   | `Busy -> Mailbox.push replies (Line "busy")
+                   | `Closed -> Mailbox.push replies (Line "error closed")
+                   | `Invalid why ->
+                       Mailbox.push replies (Line ("error " ^ why)))
+               | None ->
+                   Mailbox.push replies
+                     (Line "error expected: submit w1,...,wn | stats | quit"));
+            loop ()
+          end)
+    in
+    loop ();
+    Mailbox.close replies
+
+  let writer t fd replies () =
+    let rec loop () =
+      match Mailbox.pop replies with
+      | None -> ()
+      | Some reply -> (
+          let line =
+            match reply with
+            | Line s -> s
+            | Result id -> (
+                match await t id with
+                | Some r -> result_line r
+                | None -> Printf.sprintf "failed %d service stopped" id)
+          in
+          match write_line fd line with
+          | () -> loop ()
+          | exception Unix.Unix_error (_, _, _) -> ())
+    in
+    loop ();
+    try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+  let start t ~socket_path =
+    (try Unix.unlink socket_path with Unix.Unix_error (_, _, _) -> ());
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+    Unix.listen listen_fd 16;
+    let closing = ref false in
+    let rec accept_loop () =
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          if !closing then (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+          else begin
+            let replies = Mailbox.create () in
+            ignore (Thread.create (reader t fd replies) () : Thread.t);
+            ignore (Thread.create (writer t fd replies) () : Thread.t);
+            accept_loop ()
+          end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error (_, _, _) -> ()  (* listener closed *)
+    in
+    { listen_fd; path = socket_path; closing;
+      accept_thread = Thread.create accept_loop () }
+
+  let stop s =
+    s.closing := true;
+    (* Closing the fd does not wake a thread blocked in accept(2);
+       a throwaway self-connection does. *)
+    (let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     (try Unix.connect fd (Unix.ADDR_UNIX s.path)
+      with Unix.Unix_error (_, _, _) -> ());
+     try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+    Thread.join s.accept_thread;
+    (try Unix.close s.listen_fd with Unix.Unix_error (_, _, _) -> ());
+    try Unix.unlink s.path with Unix.Unix_error (_, _, _) -> ()
+end

@@ -1,0 +1,134 @@
+(** The persistent auction service behind the [dmw_serve] daemon.
+
+    Where {!Dmw_exec.run} stands up a fresh fabric for one auction run
+    and tears everything down, this module keeps [n] agent endpoints
+    connected over one long-lived {!Dmw_net.Fabric} and feeds them
+    {e waves}: jobs (one task each, with its full bid vector) arrive
+    through a bounded submission queue, the epoch dispatcher batches up
+    to [max_wave] of them into a single [m]-task protocol instance, and
+    every message of that wave travels inside a
+    {!Dmw_core.Messages.Scoped} envelope naming the epoch, so frames
+    from a finished wave can never leak into the next one. An epoch
+    ends with {!Dmw_net.Fabric.broadcast_epoch}; the endpoint sessions
+    return [`Epoch_end] and keep their sockets for the next wave.
+
+    Concurrency shape: [n] worker threads (one per agent endpoint, as
+    in the socket backend) plus one dispatcher thread that collects
+    waves, drives the payment infrastructure, settles, and publishes
+    per-job results. Client-facing threads only touch {!submit},
+    {!await} and {!stats}, all of which are thread-safe. *)
+
+(** {1 Configuration} *)
+
+type config = private {
+  n : int;  (** Number of agent endpoints (machines). *)
+  c : int;  (** Fault bound carried by every wave. *)
+  group_bits : int;
+  seed : int;
+      (** Base seed. Epoch [e] derives its RNG from
+          [seed + 7919 * (e - 1)], so the first wave of a service
+          seeded with [s] reproduces [Dmw_exec.run ~seed:s] bit for
+          bit given the same jobs. *)
+  w_max : int option;  (** Bid-range override, as in {!Dmw_core.Params.make}. *)
+  pipeline : int option;
+      (** Admission-window depth within each wave
+          ({!Dmw_core.Agent.create}'s [pipeline]). *)
+  max_wave : int;  (** Most jobs batched into one epoch. *)
+  queue_capacity : int;  (** Submission-queue bound; beyond it, [`Busy]. *)
+  wave_window : float;
+      (** Seconds the dispatcher lingers after the first job of a wave
+          so closely-spaced submissions share an epoch. [0.] takes
+          whatever is already queued. *)
+  epoch_timeout : float;  (** Per-epoch payment-collection deadline. *)
+}
+
+val config :
+  ?group_bits:int -> ?seed:int -> ?w_max:int -> ?pipeline:int ->
+  ?max_wave:int -> ?queue_capacity:int -> ?wave_window:float ->
+  ?epoch_timeout:float -> n:int -> c:int -> unit -> config
+(** Defaults: [group_bits = 64], [seed = 0], [max_wave = 8],
+    [queue_capacity = 64], [wave_window = 0.], [epoch_timeout = 30.],
+    and [w_max]/[pipeline] left to the protocol's own defaults.
+    Raises [Invalid_argument] on out-of-range values; the [(n, c)]
+    population itself is validated by {!create}. *)
+
+(** {1 Service lifecycle} *)
+
+type t
+
+val create : ?paused:bool -> config -> t
+(** Allocate the fabric, connect the [n] agent endpoints and start the
+    dispatcher. [paused] (default [false]) holds the dispatcher back
+    until {!resume} — how tests submit a full wave deterministically
+    before any epoch starts. Raises [Invalid_argument] when the
+    population parameters do not validate. *)
+
+val resume : t -> unit
+(** Release a [create ~paused:true] dispatcher. Idempotent. *)
+
+val shutdown : t -> unit
+(** Drain: stop accepting jobs, run every queued job to completion,
+    send the final stop down the fabric, join all threads and close
+    every descriptor. Blocks until done; {!await} callers still
+    waiting afterwards receive [None]. *)
+
+(** {1 Jobs} *)
+
+type job_result = {
+  job : int;  (** The id {!submit} returned. *)
+  epoch : int;  (** Wave that executed the job (1-based). *)
+  task : int;  (** Task index within its wave. *)
+  outcome : Dmw_core.Agent.task_outcome option;
+      (** Winner and prices under consensus; [None] when the wave
+          failed to reach it. *)
+  error : string option;
+}
+
+val submit :
+  t -> bids:int array ->
+  [ `Accepted of int | `Busy | `Closed | `Invalid of string ]
+(** Offer one task whose bid vector is [bids] ([bids.(i)] is agent
+    [i]'s level, [1 <= w <= w_max]). Never blocks: [`Busy] is the
+    backpressure signal (queue at capacity — retry later), [`Closed]
+    means the service is shutting down. *)
+
+val await : t -> int -> job_result option
+(** Block until the job's wave settles and return its result; [None]
+    only if the service was shut down before producing one (an
+    accepted job is always drained, so this means the id was never
+    accepted or the service died). *)
+
+type stats = { epochs : int; jobs : int; queue_depth : int }
+
+val stats : t -> stats
+
+(** {1 Front door}
+
+    A newline-delimited text protocol over a Unix-domain socket, small
+    enough to drive with [dmw_cli submit] or netcat:
+
+    {v
+    -> submit 2,1,3,1,2        one bid level per agent, comma-separated
+    <- result 0 epoch=1 task=0 winner=1 ystar=1 ystar2=2
+    <- busy                    queue full; retry later
+    <- error <reason>          malformed or out-of-range submission
+    -> stats
+    <- stats epochs=1 jobs=1 queue=0
+    -> quit
+    v}
+
+    Replies to [submit] come back in submission order but
+    asynchronously — a client may pipeline several submissions and the
+    service batches the ones that land in the same wave. *)
+
+module Front : sig
+  type server
+
+  val start : t -> socket_path:string -> server
+  (** Bind (replacing any stale socket file), listen, and serve each
+      connection on its own reader/writer thread pair. *)
+
+  val stop : server -> unit
+  (** Close the listener and remove the socket file. Connections
+      already accepted run until their client disconnects. *)
+end

@@ -22,14 +22,14 @@ let tags =
   [ "share"; "commitments"; "lambda_psi"; "f_disclosure";
     "f_disclosure_hardened"; "lambda_psi_excl"; "payment_report" ]
 
-let run_uniform ~backend ~n ~m ~w =
+let run_uniform ?pipeline ~backend ~n ~m ~w () =
   Metrics.reset ();
   Dmw_obs.Span.reset ();
   Metrics.enable ();
   Fun.protect ~finally:Metrics.disable @@ fun () ->
   let params = Params.make_exn ~group_bits:16 ~seed ~n ~m ~c:1 () in
   let bids = Array.make_matrix n m w in
-  Dmw_exec.run ~seed ~backend params ~bids
+  Dmw_exec.run ~seed ?pipeline ~backend params ~bids
 
 let measured_messages ~backend_name =
   List.fold_left
@@ -49,10 +49,10 @@ let measured_bytes ~backend_name =
           "dmw_bytes_total")
     0 tags
 
-let check_point backend (n, m, w) =
+let check_point ?pipeline backend (n, m, w) =
   let name = Dmw_exec.backend_name backend in
   let label fmt = Printf.sprintf fmt name n m w in
-  let r = run_uniform ~backend ~n ~m ~w in
+  let r = run_uniform ?pipeline ~backend ~n ~m ~w () in
   Alcotest.(check bool) (label "%s n=%d m=%d w=%d completes") true
     (Dmw_exec.completed r);
   (* Uniform bids: both prices resolve at the bid level. *)
@@ -99,6 +99,16 @@ let check_point backend (n, m, w) =
 let test_backend backend () =
   List.iter (check_point backend) points
 
+(* The admission pipeline must not cost a message: Table 1's exact
+   counts hold at any depth, from strictly sequential to an
+   intermediate window, on every backend. *)
+let test_pipelined_points () =
+  List.iter
+    (fun backend ->
+      check_point ~pipeline:1 backend (5, 2, 1);
+      check_point ~pipeline:2 backend (7, 3, 3))
+    [ Dmw_exec.sim (); Dmw_exec.threads (); Dmw_exec.socket () ]
+
 (* With observability off, the instrumented seams must record
    nothing: the disabled branch is the whole hot-path cost. *)
 let test_disabled_records_nothing () =
@@ -121,7 +131,8 @@ let () =
           Alcotest.test_case "threads" `Quick
             (test_backend (Dmw_exec.threads ()));
           Alcotest.test_case "socket" `Quick
-            (test_backend (Dmw_exec.socket ())) ] );
+            (test_backend (Dmw_exec.socket ()));
+          Alcotest.test_case "pipelined depths" `Quick test_pipelined_points ] );
       ( "disabled",
         [ Alcotest.test_case "records nothing" `Quick
             test_disabled_records_nothing ] ) ]
