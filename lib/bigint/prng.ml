@@ -1,6 +1,8 @@
 (* Splitmix64 (Steele, Lea, Flood 2014): tiny state, passes BigCrush,
    and trivially supports stream splitting. *)
 
+(* race: confined owner: each stream is advanced only by the thread
+   that seeded it; splitting hands out fresh independent states. *)
 type t = { mutable state : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L

@@ -21,6 +21,8 @@ type phase = Bidding | Resolving_first | Identifying | Resolving_second | Done_
 
 type task_outcome = { winner : int; y_star : int; y_star2 : int }
 
+(* race: confined agent: per-task protocol state lives inside one
+   agent and is driven only by that agent's endpoint thread. *)
 type task_state = {
   mutable admitted : bool;
       (* A task enters the pipeline only when the admission scheduler
@@ -53,6 +55,8 @@ type task_state = {
   mutable outcome : task_outcome option;
 }
 
+(* race: confined agent: an agent is owned by its endpoint thread;
+   other threads talk to it only through messages. *)
 type t = {
   params : Params.t;
   id : int;

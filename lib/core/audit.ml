@@ -11,6 +11,8 @@ type reason =
 
 type entry = { task : int; description : string; ok : bool }
 
+(* race: confined agent: one audit log per agent, appended and read
+   only on that agent's endpoint thread. *)
 type t = { mutable entries_rev : entry list; mutable count : int }
 
 let create () = { entries_rev = []; count = 0 }

@@ -9,6 +9,8 @@ type outcome = {
   payments : float array;
 }
 
+(* race: confined owner: built and consumed inside one direct-mode
+   auction call; never escapes the constructing thread. *)
 type auction_data = {
   dealers : Bid_commitments.dealer array;
   shares : Share.t array array;  (* shares.(dealer).(receiver) *)

@@ -1,6 +1,8 @@
 open Dmw_bigint
 open Dmw_modular
 
+(* race: confined readonly: parameters are computed by make/restrict
+   and shared read-only across every agent thread. *)
 type t = {
   group : Group.t;
   n : int;

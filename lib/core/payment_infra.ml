@@ -1,3 +1,5 @@
+(* race: confined owner: report slots are filled and read by the
+   single collecting (center) thread. *)
 type t = { n : int; reports : float array option array }
 
 let create ~n = { n; reports = Array.make n None }

@@ -2,6 +2,8 @@ open Dmw_bigint
 open Dmw_modular
 open Dmw_crypto
 
+(* race: confined owner: a transcript is assembled and verified by
+   one checking thread; the arrays never cross threads. *)
 type t = {
   publics : Bid_commitments.public array;
   lambda_psi : (Group.elt * Group.elt) array;

@@ -2,6 +2,8 @@ open Dmw_bigint
 open Dmw_modular
 open Dmw_poly
 
+(* race: confined owner: commitment payloads are built or decoded by
+   one thread and treated as immutable values afterwards. *)
 type public = {
   o : Pedersen.t array;
   qv : Pedersen.t array;
@@ -100,6 +102,8 @@ let verify_share group public ~alpha (s : Share.t) =
     else Ok { gamma; phi }
   end
 
+(* race: confined owner: aggregates are folded up and read by the
+   single verifying thread. *)
 type aggregate = {
   q_bar : Pedersen.t array;
   r_bar : Pedersen.t array;

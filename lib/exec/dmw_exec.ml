@@ -22,6 +22,8 @@ type agent_status = {
   checks_performed : int;
 }
 
+(* race: confined owner: result arrays are filled by the driver after
+   it has joined every worker thread. *)
 type result = {
   params : Params.t;
   backend : string;

@@ -1,3 +1,5 @@
+(* race: confined readonly: the time matrix is filled during
+   generation and read-only once published. *)
 type t = { times : float array array }
 
 let validate times =

@@ -1,3 +1,5 @@
+(* race: confined owner: an outcome belongs to the thread that ran
+   the mechanism; consumers read it after the run completes. *)
 type outcome = {
   schedule : Schedule.t;
   payments : float array;

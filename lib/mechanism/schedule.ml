@@ -1,3 +1,5 @@
+(* race: confined owner: schedules are built and rewritten by the
+   single mechanism thread that owns the run. *)
 type t = { agents : int; assignment : int array }
 
 let create ~agents ~assignment =

@@ -1,5 +1,7 @@
 open Dmw_bigint
 
+(* race: confined readonly: sieved once at module load, read-only
+   afterwards. *)
 let small_primes =
   let limit = 1000 in
   let sieve = Array.make (limit + 1) true in

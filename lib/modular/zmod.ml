@@ -1,21 +1,23 @@
 open Dmw_bigint
 
 module Counters = struct
-  let enabled = ref false
-  let muls = ref 0
-  let pows = ref 0
+  (* Bumped from every agent thread during concurrent auctions —
+     atomics, or the counts drift under contention. *)
+  let enabled = Atomic.make false
+  let muls = Atomic.make 0
+  let pows = Atomic.make 0
 
-  let enable () = enabled := true
-  let disable () = enabled := false
+  let enable () = Atomic.set enabled true
+  let disable () = Atomic.set enabled false
 
   let reset () =
-    muls := 0;
-    pows := 0
+    Atomic.set muls 0;
+    Atomic.set pows 0
 
-  let multiplications () = !muls
-  let exponentiations () = !pows
-  let bump_mul () = if !enabled then incr muls
-  let bump_pow () = if !enabled then incr pows
+  let multiplications () = Atomic.get muls
+  let exponentiations () = Atomic.get pows
+  let bump_mul () = if Atomic.get enabled then Atomic.incr muls
+  let bump_pow () = if Atomic.get enabled then Atomic.incr pows
 end
 
 let check_modulus m =
@@ -64,6 +66,8 @@ let inv m a =
    so it cannot be called directly here). It returns [None] when it
    declines (modulus even or below its profitability threshold), in
    which case the direct square-and-multiply path below runs. *)
+(* race: confined readonly: installed once when Montgomery loads,
+   before any protocol thread starts; read-only afterwards. *)
 let fast_pow : (Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t option) ref =
   ref (fun _ _ _ -> None)
 

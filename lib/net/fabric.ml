@@ -9,6 +9,8 @@
 let stop_src = 0xffff
 let broadcast_dst = 0xffff
 
+(* race: confined router: per-peer buffers and queues are touched
+   only on the router thread (shutdown joins it first). *)
 type peer = {
   fd : Unix.file_descr; (* switch side, non-blocking *)
   mutable inbuf : Bytes.t;
@@ -18,7 +20,10 @@ type peer = {
 }
 
 type t = {
+  (* race: confined readonly: filled at create, read-only after. *)
   endpoint_fds : Unix.file_descr array;
+  (* race: confined router: the array is fixed at create; the peers
+     inside are the router thread's. *)
   peers : peer array; (* endpoints 0..k-1, control at index k *)
   control_fd : Unix.file_descr; (* driver side of the control channel *)
   control : int; (* index of the control peer *)
@@ -151,7 +156,9 @@ let create ~endpoints =
     { endpoint_fds; peers; control_fd; control = endpoints; router = None;
       control_mutex = Mutex.create (); stop_sent = false }
   in
-  t.router <- Some (Thread.create router_loop t);
+  let th = Thread.create router_loop t in
+  Dmw_runtime.Mutex_util.with_lock t.control_mutex (fun () ->
+      t.router <- Some th);
   t
 
 let endpoint_fd t i = t.endpoint_fds.(i)
@@ -181,10 +188,13 @@ let shutdown t =
   (* Closing the driver side of the control channel is the router's
      signal to flush and exit. *)
   (try Unix.close t.control_fd with Unix.Unix_error (_, _, _) -> ());
-  (match t.router with
-  | Some th ->
-      t.router <- None;
-      Thread.join th
+  (match
+     Dmw_runtime.Mutex_util.with_lock t.control_mutex (fun () ->
+         let th = t.router in
+         t.router <- None;
+         th)
+   with
+  | Some th -> Thread.join th
   | None -> ());
   Array.iter
     (fun p -> try Unix.close p.fd with Unix.Unix_error (_, _, _) -> ())

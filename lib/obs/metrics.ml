@@ -15,8 +15,11 @@ let rec atomic_add_float cell x =
 module Histogram = struct
   (* Byte-size oriented defaults: protocol messages run from ~20 B
      (lambda_psi) to a few KB (hardened disclosures in big groups). *)
+  (* race: confined readonly: a constant; every histogram copies it. *)
   let default_edges = [| 16.; 64.; 256.; 1024.; 4096.; 16384. |]
 
+  (* race: confined owner: each snapshot is a fresh copy owned by the
+     caller that took it. *)
   type snapshot = {
     edges : float array;
     underflow : int;
@@ -57,6 +60,8 @@ end
 (* Live histogram cells; snapshots are taken under no lock — each cell
    read is atomic, and the protocol's recording points are all
    quiescent by the time anyone exports. *)
+(* race: confined readonly: both arrays are fixed at create — edges
+   is never written again and buckets only swaps its atomic cells. *)
 type hist = {
   edges : float array;
   underflow : int Atomic.t;

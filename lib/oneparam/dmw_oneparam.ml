@@ -22,6 +22,8 @@ let equal_split ~total : rule =
     let n = Array.length costs in
     Array.make n (total /. float_of_int n)
 
+(* race: confined owner: outcomes are built and read by the single
+   thread running the one-parameter mechanism. *)
 type outcome = { work : float array; payments : float array }
 
 let validate_levels levels =

@@ -1,6 +1,8 @@
 open Dmw_bigint
 open Dmw_modular
 
+(* race: confined readonly: coefficient arrays are written only while
+   a polynomial is constructed; every operation builds a fresh one. *)
 type t = { q : Bigint.t; c : Bigint.t array }
 (* [c.(i)] is the coefficient of x^i, canonical mod q, no trailing
    zeros. *)

@@ -61,7 +61,8 @@ let create () =
     { mutex = Mutex.create (); wake = Condition.create (); pending = [];
       stopped = false; seq = 0; thread = None }
   in
-  t.thread <- Some (Thread.create loop t);
+  let th = Thread.create loop t in
+  Mutex_util.with_lock t.mutex (fun () -> t.thread <- Some th);
   t
 
 let schedule t ~delay fire =
@@ -81,10 +82,13 @@ let shutdown t =
       t.stopped <- true;
       t.pending <- [];
       Condition.broadcast t.wake);
-  (* Join outside the lock: the timer thread needs the mutex to observe
-     [stopped] and exit. *)
-  match t.thread with
-  | Some th ->
-      t.thread <- None;
-      Thread.join th
+  (* Take the handle under the lock, join outside it: the timer
+     thread needs the mutex to observe [stopped] and exit. *)
+  match
+    Mutex_util.with_lock t.mutex (fun () ->
+        let th = t.thread in
+        t.thread <- None;
+        th)
+  with
+  | Some th -> Thread.join th
   | None -> ()

@@ -38,6 +38,9 @@ let config ?(group_bits = 64) ?(seed = 0) ?w_max ?pipeline ?(max_wave = 8)
   { n; c; group_bits; seed; w_max; pipeline; max_wave; queue_capacity;
     wave_window; epoch_timeout }
 
+(* race: confined extern: a job is written by the submitter, handed
+   off through Bounded_queue, and read by the dispatcher — the
+   queue's lock orders the two sides. *)
 type job = { id : int; w_vector : int array }
 
 type job_result = {
@@ -54,9 +57,14 @@ type t = {
   t0 : float;  (* service birth; the obs clock every span shares *)
   fabric : Fabric.t;
   queue : job Bounded_queue.t;
+  (* race: confined readonly: fixed at create; each Mailbox inside
+     carries its own lock. *)
   boxes : Agent.t Mailbox.t array;  (* per-worker: next epoch's agent *)
   done_box : unit Mailbox.t;  (* workers signal end-of-epoch here *)
+  (* race: confined owner: written by create, read by shutdown — both
+     on the thread that owns the service handle. *)
   mutable workers : Thread.t array;
+  (* race: confined owner: same discipline as workers. *)
   mutable dispatcher : Thread.t option;
   (* Submission side. *)
   smutex : Mutex.t;
@@ -275,10 +283,13 @@ let run_epoch t wave =
     wave
 
 let fail_wave t wave message =
+  (* t.epochs is owned by rmutex; the dispatcher may be bumping it
+     concurrently, so take the same snapshot run_wave does. *)
+  let epoch = Mutex_util.with_lock t.rmutex (fun () -> t.epochs + 1) in
   Array.iteri
     (fun j job ->
       publish t
-        { job = job.id; epoch = t.epochs + 1; task = j; outcome = None;
+        { job = job.id; epoch; task = j; outcome = None;
           error = Some message })
     wave
 
@@ -398,7 +409,7 @@ module Front = struct
     listen_fd : Unix.file_descr;
     path : string;
     accept_thread : Thread.t;
-    closing : bool ref;
+    closing : bool Atomic.t;
   }
 
   let write_line fd line =
@@ -500,11 +511,12 @@ module Front = struct
     let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
     Unix.listen listen_fd 16;
-    let closing = ref false in
+    let closing = Atomic.make false in
     let rec accept_loop () =
       match Unix.accept listen_fd with
       | fd, _ ->
-          if !closing then (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+          if Atomic.get closing then
+            (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
           else begin
             let replies = Mailbox.create () in
             ignore (Thread.create (reader t fd replies) () : Thread.t);
@@ -518,7 +530,7 @@ module Front = struct
       accept_thread = Thread.create accept_loop () }
 
   let stop s =
-    s.closing := true;
+    Atomic.set s.closing true;
     (* Closing the fd does not wake a thread blocked in accept(2);
        a throwaway self-connection does. *)
     (let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in

@@ -12,6 +12,8 @@ type 'a event =
   | Deliver of { dst : int; delivery : 'a delivery }
   | Action of (unit -> unit)
 
+(* race: confined sim: the discrete-event engine is single-threaded;
+   all state is touched from the one thread calling [run]. *)
 type 'a t = {
   n : int;
   fault : Fault.t;

@@ -168,6 +168,8 @@ type decision = { drop : bool; delay : float; copies : int }
 
 let delivered = { drop = false; delay = 0.0; copies = 0 }
 
+(* race: confined sim: the keyless counter path is only taken by
+   single-threaded engines; threaded backends always pass ~key. *)
 type instance = {
   spec : t;
   seed : int;

@@ -1,5 +1,7 @@
 type 'a entry = { prio : float; seq : int; value : 'a }
 
+(* race: confined sim: the event heap belongs to the single-threaded
+   simulation engine. *)
 type 'a t = {
   mutable data : 'a entry array;
   mutable len : int;

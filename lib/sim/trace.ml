@@ -7,6 +7,8 @@ type event = {
   broadcast : bool;
 }
 
+(* race: confined sim: traces are recorded by the single-threaded
+   engine and read after the run finishes. *)
 type t = {
   keep_events : bool;
   mutable events_rev : event list;

@@ -62,6 +62,8 @@ let scaling_exponent ~xs ~ys =
   (loglog_fit (List.combine (List.map float_of_int xs) ys)).slope
 
 module Table = struct
+  (* race: confined owner: tables are accumulated and rendered by one
+     reporting thread. *)
   type t = { columns : string list; mutable rows_rev : string list list }
 
   let create ~columns = { columns; rows_rev = [] }

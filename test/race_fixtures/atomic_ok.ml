@@ -1,0 +1,9 @@
+(* Silent: atomic cells need no locks. *)
+
+let total = Atomic.make 0
+
+type gauge = { level : float Atomic.t }
+
+let bump () = Atomic.incr total
+let set g v = Atomic.set g.level v
+let read g = Atomic.get g.level

@@ -1,0 +1,10 @@
+(* Seeded R-bare: raw lock/unlock without the wrapper shape. The
+   linter's R4 flags the same two sites syntactically outside lib/. *)
+
+let m = Mutex.create ()
+let cell = ref 0
+
+let bad () =
+  Mutex.lock m;
+  incr cell;
+  Mutex.unlock m

@@ -1,0 +1,15 @@
+(* Silent: every cell here is annotated confined or is atomic. *)
+
+(* race: confined owner: bumped only by the constructing thread in
+   this fixture's usage. *)
+let counter = ref 0
+
+let tick () = incr counter
+
+(* race: confined agent: per-handle state serialized on its owner. *)
+type handle = { mutable seen : int }
+
+let touch h = h.seen <- h.seen + 1
+
+let total = Atomic.make 0
+let bump () = Atomic.incr total

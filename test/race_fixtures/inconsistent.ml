@@ -1,0 +1,14 @@
+(* Seeded R-lockset: the same table under lock_a on writes and lock_b
+   on reads — every access is locked, but no common lock exists. *)
+
+let lock_a = Mutex.create ()
+let lock_b = Mutex.create ()
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let add k =
+  Dmw_runtime.Mutex_util.with_lock lock_a (fun () ->
+      Hashtbl.replace table k k)
+
+let read k =
+  Dmw_runtime.Mutex_util.with_lock lock_b (fun () ->
+      Hashtbl.find_opt table k)

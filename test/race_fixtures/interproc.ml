@@ -1,0 +1,10 @@
+(* Silent: the lock travels interprocedurally — a wrapper closing
+   over it and a helper taking the lock as a parameter. *)
+
+let lock = Mutex.create ()
+let jobs : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let guarded f = Dmw_runtime.Mutex_util.with_lock lock f
+let locked_with l f = Dmw_runtime.Mutex_util.with_lock l f
+let add k = guarded (fun () -> Hashtbl.replace jobs k k)
+let del k = locked_with lock (fun () -> Hashtbl.remove jobs k)

@@ -1,0 +1,13 @@
+(* Seeded R-order: [ab] nests lock_b inside lock_a, [ba] the reverse —
+   two threads running one each can deadlock. *)
+
+let lock_a = Mutex.create ()
+let lock_b = Mutex.create ()
+
+let ab f =
+  Dmw_runtime.Mutex_util.with_lock lock_a (fun () ->
+      Dmw_runtime.Mutex_util.with_lock lock_b f)
+
+let ba f =
+  Dmw_runtime.Mutex_util.with_lock lock_b (fun () ->
+      Dmw_runtime.Mutex_util.with_lock lock_a f)

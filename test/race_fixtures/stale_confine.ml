@@ -1,0 +1,13 @@
+(* Seeded annotation hygiene: a stale annotation on a guarded cell
+   and an unknown keyword that must not suppress anything. *)
+
+let lock = Mutex.create ()
+
+(* race: confined owner: stale — the cell below is guarded. *)
+let cell = ref 0
+
+(* race: confined everywhere: unknown keyword. *)
+let other = ref 0
+
+let bump () = Dmw_runtime.Mutex_util.with_lock lock (fun () -> incr cell)
+let poke () = other := !other + 1

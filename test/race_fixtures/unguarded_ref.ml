@@ -1,0 +1,11 @@
+(* Seeded R-unguarded cells: a module-scope ref and an immutable
+   Hashtbl record field, both touched with no lock in sight. *)
+
+let hits = ref 0
+
+type slab = { cache : (int, int) Hashtbl.t }
+
+let make () = { cache = Hashtbl.create 8 }
+let record () = hits := !hits + 1
+let read () = !hits
+let put s k v = Hashtbl.replace s.cache k v

@@ -1,0 +1,12 @@
+(* Silent: the inline exception-safe wrapper shape is recognized and
+   its closure parameter is known to run under the lock. *)
+
+let lock = Mutex.create ()
+let box = ref 0
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set v = with_lock (fun () -> box := v)
+let get () = with_lock (fun () -> !box)

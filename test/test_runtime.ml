@@ -207,6 +207,21 @@ let test_timer_single_thread_many_ticks () =
   Alcotest.(check int) "all 100 ticks delivered" 100 !received;
   Timer.shutdown t
 
+let test_timer_concurrent_shutdown () =
+  (* Regression for the unguarded [t.thread] handle: shutdown racing
+     shutdown (or the tail of create) must join the timer thread
+     exactly once — the handle is taken under the timer's own mutex.
+     Churn through enough timers to give the race a chance. *)
+  for _ = 1 to 50 do
+    let t = Timer.create () in
+    Timer.schedule t ~delay:10.0 (fun () -> ());
+    let stoppers =
+      List.init 3 (fun _ -> Thread.create (fun () -> Timer.shutdown t) ())
+    in
+    List.iter Thread.join stoppers;
+    Alcotest.(check int) "pending dropped" 0 (Timer.pending t)
+  done
+
 let () =
   Alcotest.run "dmw_runtime"
     [ ("mailbox",
@@ -221,7 +236,9 @@ let () =
          Alcotest.test_case "shutdown drops pending" `Quick
            test_timer_shutdown_drops_pending;
          Alcotest.test_case "many ticks, one thread" `Quick
-           test_timer_single_thread_many_ticks ]);
+           test_timer_single_thread_many_ticks;
+         Alcotest.test_case "concurrent shutdown joins once" `Quick
+           test_timer_concurrent_shutdown ]);
       ("concurrent protocol",
        [ Alcotest.test_case "matches simulator" `Quick test_concurrent_matches_simulated;
          Alcotest.test_case "stable across interleavings" `Slow

@@ -41,11 +41,10 @@ let active_for path =
       || has_prefix "lib/modular/" path
       || has_prefix "lib/core/" path;
     r3 = path <> "lib/bigint/prng.ml";
-    r4 =
-      (has_prefix "lib/runtime/" path
-      || has_prefix "lib/net/" path
-      || has_prefix "lib/exec/" path)
-      && path <> "lib/runtime/mutex_util.ml";
+    (* Inside lib/ the typedtree-based dmw_race owns bare-mutex
+       detection (rule R-bare, wrapper-shape aware); the syntactic
+       rule only patrols the trees the race analyzer does not see. *)
+    r4 = not (has_prefix "lib/" path);
     r5 =
       path = "lib/core/agent.ml"
       || has_prefix "lib/exec/" path
