@@ -80,19 +80,25 @@ let run ?(center = Honest) ?(agents = fun _ -> Follows) ?(seed = 11) ~n ~m ~c
               Hashtbl.replace counts key
                 (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
         reports;
-      Hashtbl.iter
-        (fun (a, p) count ->
-          if count >= n - c && !final = None then begin
-            agreeing := count;
-            final := Some (Array.of_list a, Array.of_list p);
-            let assignment = Array.of_list a and payments = Array.of_list p in
-            for dst = 0 to n - 1 do
-              Engine.send eng ~src:center_id ~dst ~tag:"finalize"
-                ~bytes:(vector_bytes (m + n))
-                (Finalize { assignment; payments })
-            done
-          end)
-        counts
+      (* Sorted: with c >= n/2 colluders two distinct outcomes can both
+         reach the n - c quorum, and iterating [counts] in Hashtbl
+         bucket order would let hash state — not (seed, params) — pick
+         which one gets finalized. The sort makes the tie-break the
+         lexicographically least outcome, deterministically. *)
+      Hashtbl.fold (fun key count acc -> (key, count) :: acc) counts []
+      |> List.sort compare
+      |> List.iter (fun ((a, p), count) ->
+             if count >= n - c && !final = None then begin
+               agreeing := count;
+               final := Some (Array.of_list a, Array.of_list p);
+               let assignment = Array.of_list a
+               and payments = Array.of_list p in
+               for dst = 0 to n - 1 do
+                 Engine.send eng ~src:center_id ~dst ~tag:"finalize"
+                   ~bytes:(vector_bytes (m + n))
+                   (Finalize { assignment; payments })
+               done
+             end)
     end
   in
   Engine.on_message eng ~node:center_id (fun eng d ->

@@ -108,9 +108,13 @@ module Obs = struct
   (* Materialize the aggregated span tree for the finished attempt. *)
   let emit ~backend =
     if Metrics.enabled () then begin
+      (* Sorted so span emission order (and hence span ids in the
+         export) is a function of the cells' keys, not of Hashtbl
+         bucket order. *)
       let entries =
         Mutex_util.with_lock cells_lock (fun () ->
             Hashtbl.fold (fun k c acc -> (k, c.t0, c.t1) :: acc) cells [])
+        |> List.sort compare
       in
       match entries with
       | [] -> ()
@@ -439,6 +443,8 @@ module Thread_backend = struct
     Array.iter Thread.join threads;
     Mailbox.close reports;
     Timer.shutdown timer;
+    (* det: wallclock: duration is the measured wall time of the run —
+       reporting, never part of the consensus signature or the wire *)
     { trace; duration = Unix.gettimeofday () -. t0 }
 end
 
@@ -499,6 +505,8 @@ module Socket_backend = struct
     Fabric.broadcast_stop fabric;
     Array.iter Thread.join threads;
     Fabric.shutdown fabric;
+    (* det: wallclock: duration is the measured wall time of the run —
+       reporting, never part of the consensus signature or the wire *)
     { trace; duration = Unix.gettimeofday () -. t0 }
 end
 

@@ -102,6 +102,9 @@ let worker t i () =
     | None -> ()
     | Some agent ->
         let outcome =
+          (* det: obs-only: the wall clock threaded here is the span
+             timestamp inside the obs transport wrapper; frame payloads
+             come from the agent's protocol state alone *)
           Endpoint.run_session
             ~wrap:(Dmw_exec.Obs.transport ~backend:backend_label ~now ~src:i)
             ~on_recv:(fun ~src:_ -> Dmw_exec.Obs.recv ~backend:backend_label)

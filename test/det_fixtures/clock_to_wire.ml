@@ -1,0 +1,6 @@
+(* Seeded determinism defect: a wall-clock reading embedded in a frame
+   payload. dmw_det must flag the Frame.write call (D-wire). *)
+
+let leak fd =
+  let stamp = Unix.gettimeofday () in
+  Dmw_net.Frame.write fd ~src:0 ~dst:1 (string_of_float stamp)

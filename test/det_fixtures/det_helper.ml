@@ -1,0 +1,5 @@
+(* Interprocedural support: the nondeterminism is introduced here, in
+   a helper whose summary must carry it to the caller's sink. Clean on
+   its own — reading a clock is not a defect, leaking it is. *)
+
+let stamp () = Unix.gettimeofday ()

@@ -1,0 +1,8 @@
+(* Seeded determinism defect, split across modules: Det_helper.stamp's
+   wall-clock reading reaches the typed audit record here. Analyzed
+   together with the helper the flow is found through its summary;
+   this module alone never reads a clock. *)
+
+let note audit =
+  let t = Det_helper.stamp () in
+  Dmw_core.Audit.log audit ~task:0 ~description:(string_of_float t) ~ok:true

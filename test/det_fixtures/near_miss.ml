@@ -1,0 +1,19 @@
+(* Near misses: flows that look nondeterministic but are sanctioned by
+   structure alone — the sorted-iteration idiom feeding the wire, a
+   wall time recorded by observability (the D-obs regime), and a clock
+   read that only gates a timeout comparison (no implicit flows). None
+   of these may be flagged. *)
+
+let report (paid : (int, float) Hashtbl.t) n =
+  let payments =
+    Hashtbl.fold (fun agent p acc -> (agent, p) :: acc) paid []
+    |> List.sort compare
+  in
+  let arr = Array.make n 0.0 in
+  List.iter (fun (agent, p) -> arr.(agent) <- p) payments;
+  Dmw_core.Messages.Payment_report { payments = arr }
+
+let observe_duration t0 =
+  Dmw_obs.Metrics.observe "fixture_seconds" (Unix.gettimeofday () -. t0)
+
+let timed_out ~deadline = Unix.gettimeofday () > deadline

@@ -1,0 +1,15 @@
+(* Annotation hygiene: the first annotation below excuses a real
+   crossing (silent), the second suppresses nothing (stale-det), and
+   the third names an unknown regime (D-annot) so the crossing under
+   it is still reported. *)
+
+let excused fd =
+  (* det: wallclock: fixture — a sanctioned crossing *)
+  Dmw_net.Frame.write fd ~src:0 ~dst:1 (string_of_float (Unix.gettimeofday ()))
+
+(* det: sorted: nothing here iterates a Hashtbl any more *)
+let innocent x = x + 1
+
+let unexcused fd =
+  (* det: lucky: not a sanctioned regime *)
+  Dmw_net.Frame.write fd ~src:0 ~dst:1 (string_of_float (Unix.gettimeofday ()))

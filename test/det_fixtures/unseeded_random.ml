@@ -1,0 +1,8 @@
+(* Seeded determinism defect: draws from the ambient Stdlib.Random
+   state — the sanctioned coin is a Prng.t derived from the run seed.
+   Also the R3 handoff witness: the linter must see the same two
+   sites under non-lib/ paths and stand down under lib/. *)
+
+let jitter () = Random.float 1.0
+
+let reseed () = Random.self_init ()

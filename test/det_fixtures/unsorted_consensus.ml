@@ -1,0 +1,6 @@
+(* Seeded determinism defect: an assignment assembled in Hashtbl
+   iteration order reaching consensus-signature construction. *)
+
+let tally (votes : (int, int) Hashtbl.t) =
+  let order = Hashtbl.fold (fun agent _ acc -> agent :: acc) votes [] in
+  Dmw_mechanism.Schedule.create ~agents:4 ~assignment:(Array.of_list order)

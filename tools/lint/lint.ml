@@ -40,7 +40,11 @@ let active_for path =
       has_prefix "lib/crypto/" path
       || has_prefix "lib/modular/" path
       || has_prefix "lib/core/" path;
-    r3 = path <> "lib/bigint/prng.ml";
+    (* Inside lib/ the typedtree-based dmw_det owns unseeded-randomness
+       detection (rule D-random, path-resolved so aliased spellings are
+       caught too); the syntactic rule only patrols the trees the
+       determinism analyzer does not see. *)
+    r3 = not (has_prefix "lib/" path);
     (* Inside lib/ the typedtree-based dmw_race owns bare-mutex
        detection (rule R-bare, wrapper-shape aware); the syntactic
        rule only patrols the trees the race analyzer does not see. *)
