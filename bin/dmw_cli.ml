@@ -168,8 +168,36 @@ let run_cmd =
                    only latency changes.")
   in
   let run n m c seed group_bits workload deviant strategy quiet batching verbose
-      backend timeout hardened faults retries w_max metrics pipeline =
+      backend timeout hardened faults retries w_max metrics pipeline wal_path
+      resume =
     setup_logs verbose;
+    let backend =
+      match backend with
+      | `Sim -> Dmw_exec.sim ()
+      | `Threads -> Dmw_exec.threads ~timeout ()
+      | `Socket -> Dmw_exec.socket ~timeout ()
+    in
+    if Option.is_some metrics then Dmw_obs.Metrics.enable ();
+    if resume then begin
+      match wal_path with
+      | None ->
+          Format.eprintf "--resume requires --wal PATH@.";
+          2
+      | Some path -> (
+          match Dmw_exec.resume ~backend path with
+          | Error e ->
+              Format.eprintf "cannot resume from %s: %s@." path e;
+              2
+          | Ok r ->
+              if not quiet then
+                Format.printf
+                  "resumed from %s: %d journaled settlements verified, %d \
+                   attempts had started@."
+                  path r.Dmw_exec.kept r.Dmw_exec.attempts_started;
+              Format.printf "@.%a@." Dmw_exec.pp_summary r.Dmw_exec.result;
+              if Dmw_exec.completed r.Dmw_exec.result then 0 else 1)
+    end
+    else begin
     let params = make_params ?w_max ~group_bits ~seed ~n ~m ~c () in
     let rng = Prng.create ~seed in
     let instance = generate_instance workload rng ~n ~m in
@@ -191,16 +219,13 @@ let run_cmd =
       | None -> fun _ -> Strategy.Suggested
       | Some d -> fun i -> if i = d then strategy else Strategy.Suggested
     in
-    let backend =
-      match backend with
-      | `Sim -> Dmw_exec.sim ()
-      | `Threads -> Dmw_exec.threads ~timeout ()
-      | `Socket -> Dmw_exec.socket ~timeout ()
-    in
-    if Option.is_some metrics then Dmw_obs.Metrics.enable ();
+    let wal = Option.map Dmw_wal.create wal_path in
     let result =
-      Dmw_exec.run ~strategies ~seed ~batching ~hardened ?faults ~retries
-        ?pipeline ~backend params ~bids
+      Fun.protect
+        ~finally:(fun () -> Option.iter Dmw_wal.close wal)
+        (fun () ->
+          Dmw_exec.run ~strategies ~seed ~batching ~hardened ?faults ~retries
+            ?pipeline ?wal ~backend params ~bids)
     in
     Format.printf "@.%a@." Dmw_exec.pp_summary result;
     let rank = Params.pseudonym_rank params in
@@ -234,11 +259,32 @@ let run_cmd =
           (Dmw_mechanism.Schedule.makespan ~times mw.Dmw_mechanism.Minwork.schedule)
     | None -> ());
     if Dmw_exec.completed result then 0 else 1
+    end
+  in
+  let wal_path =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"PATH"
+             ~doc:"Journal the run into a durable write-ahead audit log at \
+                   PATH (truncating any existing file unless $(b,--resume) \
+                   is given): the run header, per-task phase checkpoints \
+                   and settlements, audit failures, and the final outcome.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Recover an interrupted run from the $(b,--wal) journal \
+                   instead of starting a new one: the journaled (seed, \
+                   params, bids) are re-executed deterministically, every \
+                   journaled settlement is verified against the re-run, and \
+                   a fresh journal segment is appended. Instance flags \
+                   (n, m, workload, ...) are ignored; the journal is \
+                   authoritative.")
   in
   let term =
     Term.(const run $ n_arg $ m_arg $ c_arg $ seed_arg $ bits_arg $ workload
           $ deviant $ strategy $ quiet $ batching $ verbose $ backend $ timeout
-          $ hardened $ faults $ retries $ w_max $ metrics $ pipeline)
+          $ hardened $ faults $ retries $ w_max $ metrics $ pipeline $ wal_path
+          $ resume)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the distributed mechanism on a generated instance.")

@@ -9,8 +9,65 @@
 open Cmdliner
 
 let serve n c seed group_bits w_max pipeline max_wave queue_capacity
-    wave_window epoch_timeout socket_path metrics =
+    wave_window epoch_timeout socket_path metrics wal_path resume resume_only =
   if Option.is_some metrics then Dmw_obs.Metrics.enable ();
+  if (resume || resume_only) && Option.is_none wal_path then begin
+    Printf.eprintf "--resume/--resume-only require --wal PATH\n";
+    exit 2
+  end;
+  (* Recover first: replay any interrupted epochs out of the journal,
+     print their settlements in front-door format, and learn where the
+     epoch counter and job-id allocator must continue. *)
+  let recovered, wal =
+    match wal_path with
+    | None -> (None, None)
+    | Some path when resume || resume_only -> (
+        match Dmw_wal.read path with
+        | Error e ->
+            Printf.eprintf "cannot read %s: %s\n" path
+              (Dmw_wal.error_to_string e);
+            exit 2
+        | Ok { Dmw_wal.records; valid; tail } -> (
+            (match tail with
+            | Dmw_wal.Clean -> ()
+            | Dmw_wal.Torn e ->
+                Printf.printf "dmw_serve: discarding torn tail of %s: %s\n%!"
+                  path (Dmw_wal.error_to_string e));
+            let w = Dmw_wal.continue_file path ~valid in
+            match Dmw_serve_core.recover ~journal:w records with
+            | Error e ->
+                Dmw_wal.close w;
+                Printf.eprintf "cannot recover from %s: %s\n" path e;
+                exit 2
+            | Ok r -> (Some r, Some w)))
+    | Some path -> (None, Some (Dmw_wal.create path))
+  in
+  (match recovered with
+  | None -> ()
+  | Some r ->
+      Printf.printf
+        "dmw_serve: recovered %d jobs from %s (%d settlements kept, %d epochs \
+         replayed)\n%!"
+        (List.length r.Dmw_serve_core.results)
+        (Option.value wal_path ~default:"-")
+        r.Dmw_serve_core.kept r.Dmw_serve_core.replayed;
+      List.iter
+        (fun jr -> print_endline (Dmw_serve_core.Front.result_line jr))
+        r.Dmw_serve_core.results);
+  if resume_only then begin
+    Option.iter Dmw_wal.close wal;
+    exit 0
+  end;
+  (* A resumed service takes its identity (n, c, seed, ...) from the
+     journal — the command line only supplies operational knobs. *)
+  let n, c, seed, group_bits, w_max, pipeline, max_wave =
+    match recovered with
+    | Some r ->
+        ( r.Dmw_serve_core.n, r.Dmw_serve_core.c, r.Dmw_serve_core.seed,
+          r.Dmw_serve_core.group_bits, r.Dmw_serve_core.w_max,
+          r.Dmw_serve_core.pipeline, r.Dmw_serve_core.max_wave )
+    | None -> (n, c, seed, group_bits, w_max, pipeline, max_wave)
+  in
   let cfg =
     try
       Dmw_serve_core.config ~group_bits ~seed ?w_max ?pipeline ~max_wave
@@ -20,7 +77,11 @@ let serve n c seed group_bits w_max pipeline max_wave queue_capacity
       exit 2
   in
   let service =
-    try Dmw_serve_core.create cfg
+    try
+      Dmw_serve_core.create ?wal
+        ?epoch_base:(Option.map (fun r -> r.Dmw_serve_core.next_epoch) recovered)
+        ?job_base:(Option.map (fun r -> r.Dmw_serve_core.next_job) recovered)
+        cfg
     with Invalid_argument msg ->
       Printf.eprintf "invalid parameters: %s\n" msg;
       exit 2
@@ -40,6 +101,7 @@ let serve n c seed group_bits w_max pipeline max_wave queue_capacity
   Printf.printf "dmw_serve: stop requested, draining...\n%!";
   Dmw_serve_core.Front.stop front;
   Dmw_serve_core.shutdown service;
+  Option.iter Dmw_wal.close wal;
   let s = Dmw_serve_core.stats service in
   Printf.printf "dmw_serve: done after %d epochs, %d jobs\n%!"
     s.Dmw_serve_core.epochs s.Dmw_serve_core.jobs;
@@ -123,10 +185,33 @@ let cmd =
                    Prometheus text when PATH ends in .prom, JSON-lines \
                    otherwise (including the per-epoch span trees).")
   in
+  let wal_path =
+    Arg.(value & opt (some string) None
+         & info [ "wal" ] ~docv:"PATH"
+             ~doc:"Journal the service into a durable write-ahead audit log: \
+                   the service header, every accepted submission, and each \
+                   epoch's dispatch and per-job settlements. Without \
+                   $(b,--resume) an existing file is truncated.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Recover from the $(b,--wal) journal before serving: \
+                   interrupted epochs are replayed deterministically, their \
+                   settlements printed in front-door format, and the service \
+                   continues with the journaled identity (n, c, seed, ...) \
+                   and the next epoch/job ids.")
+  in
+  let resume_only =
+    Arg.(value & flag
+         & info [ "resume-only" ]
+             ~doc:"Like $(b,--resume), but exit after printing the recovered \
+                   settlements instead of serving.")
+  in
   let term =
     Term.(const serve $ n $ c $ seed $ group_bits $ w_max $ pipeline $ max_wave
           $ queue_capacity $ wave_window $ epoch_timeout $ socket_path
-          $ metrics)
+          $ metrics $ wal_path $ resume $ resume_only)
   in
   Cmd.v
     (Cmd.info "dmw_serve" ~version:"1.0.0"

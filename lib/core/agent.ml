@@ -85,6 +85,11 @@ type t = {
       (* Pending messages per destination (reversed); flushed — as one
          Batch envelope per destination when [batching] — at the end of
          every externally-triggered step. *)
+  on_phase : (task:int -> phase -> task_outcome option -> unit) option;
+      (* Phase-machine observer (WAL checkpointing): fired on the
+         agent's own execution context at admission and at every later
+         phase transition; sees phase names and settled outcomes only —
+         never shares, polynomials or any other crypto state. *)
   mutable aborted : Audit.reason option;
   mutable crashed : bool;
   mutable payments_sent : float array option;
@@ -117,7 +122,7 @@ let min_resolution_points params =
 let watch_threshold = 4
 
 let create ?(batching = false) ?(hardened = false) ?watchdog ?pipeline ?instance
-    ~params ~id ~bids ~strategy ~rng () =
+    ?on_phase ~params ~id ~bids ~strategy ~rng () =
   (match watchdog with
   | Some p when p <= 0.0 -> invalid_arg "Agent.create: watchdog period <= 0"
   | Some _ | None -> ());
@@ -169,6 +174,7 @@ let create ?(batching = false) ?(hardened = false) ?watchdog ?pipeline ?instance
       | Some d -> min d params.Params.m
       | None -> params.Params.m);
     instance;
+    on_phase;
     outbox = Array.make (n + 1) [];
     aborted = None;
     crashed = false;
@@ -182,6 +188,15 @@ let strategy t = t.strategy
 let audit t = t.audit
 let aborted t = t.aborted
 let phase_of t ~task = t.tasks.(task).phase
+
+(* Fire the phase observer with task [j]'s current cell state; called
+   at admission and immediately after every [ts.phase <-] transition. *)
+let note_phase t j =
+  match t.on_phase with
+  | None -> ()
+  | Some f ->
+      let ts = t.tasks.(j) in
+      f ~task:j ts.phase ts.outcome
 let pipeline_depth t = t.pipeline
 let instance t = t.instance
 let outcome t ~task = t.tasks.(task).outcome
@@ -485,6 +500,7 @@ let rec advance eng t j =
                bid-independent by construction. *)
             publish eng t (Messages.Lambda_psi { task = j; lambda; psi });
             ts.phase <- Resolving_first;
+            note_phase t j;
             ts.resolution_round <- 0;
             schedule_resolution_check eng t j ts ~phase_:Resolving_first;
             advance eng t j
@@ -581,6 +597,7 @@ let rec advance eng t j =
                          publication. *)
                       (Messages.Lambda_psi_excl { task = j; lambda; psi });
                     ts.phase <- Resolving_second;
+                    note_phase t j;
                     ts.resolution_round <- 0;
                     schedule_resolution_check eng t j ts ~phase_:Resolving_second;
                     advance eng t j
@@ -636,6 +653,7 @@ and attempt_first eng t j ts ~partial =
                 present (n_of t));
           ts.resolution_round <- 0;
           ts.phase <- Identifying;
+          note_phase t j;
           maybe_disclose eng t j ts;
           schedule_disclosure_check eng t j ts;
           advance eng t j
@@ -690,6 +708,7 @@ and attempt_second eng t j ts ~partial =
                 y_star = required "III.5: y_star set since first resolution" ts.y_star;
                 y_star2 };
           ts.phase <- Done_;
+          note_phase t j;
           maybe_send_payments eng t;
           (* A pipeline slot just freed: release the next unstarted
              auction, if any. *)
@@ -747,6 +766,7 @@ and admit_task eng t j =
   let ts = t.tasks.(j) in
   if not ts.admitted then begin
     ts.admitted <- true;
+    note_phase t j;
     deal_task eng t j;
     advance eng t j
   end

@@ -46,7 +46,9 @@ type t
 
 val create :
   ?batching:bool -> ?hardened:bool -> ?watchdog:float -> ?pipeline:int ->
-  ?instance:int -> params:Params.t -> id:int -> bids:int array ->
+  ?instance:int ->
+  ?on_phase:(task:int -> phase -> task_outcome option -> unit) ->
+  params:Params.t -> id:int -> bids:int array ->
   strategy:Strategy.t -> rng:Prng.t -> unit -> t
 (** [bids.(j)] is the level this agent bids for task [j] (must satisfy
     {!Params.valid_bid}); a misreporting agent is created by passing a
@@ -93,7 +95,16 @@ val create :
     the same instance are accepted — frames from stale or interleaved
     waves on a long-lived connection are dropped at the door. Default
     [None]: bare wire format, bare frames accepted (all one-shot
-    runs). *)
+    runs).
+
+    [~on_phase:f] installs a phase-machine observer: [f ~task ph out]
+    fires on the agent's own execution context every time a task's
+    phase cell changes — at admission (entering [Bidding]) and at each
+    of the four later transitions, with [out] the settled outcome once
+    the phase is [Done_]. The write-ahead log uses this to checkpoint
+    task-auction progress; the observer sees only phase names and
+    outcome values, never shares or polynomials. Default: no hook,
+    zero overhead. *)
 
 (** How an agent talks to the world. [Dmw_exec]'s backends build one
     each: from the discrete-event engine, from real mailboxes and

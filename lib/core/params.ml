@@ -48,6 +48,39 @@ let make_exn ?group_bits ?seed ?w_max ~n ~m ~c () =
   | Ok t -> t
   | Error msg -> invalid_arg ("Params.make: " ^ msg)
 
+let of_parts ~group ~n ~m ~c ~w_max ~alphas =
+  if n < 3 then Error "need at least 3 agents"
+  else if m < 1 then Error "need at least 1 task"
+  else if c < 1 || c > n - 2 then Error "need 1 <= c <= n - 2"
+  else if w_max < 1 then Error "bid set empty: w_max < 1"
+  else if w_max + c + 1 > n then
+    (* The restrict-shape bound: σ must fit in the n available shares.
+       (make's w_max <= n - c - 1 is the same inequality.) *)
+    Error "w_max too large: resolution would need more than n shares"
+  else if Array.length alphas <> n then Error "pseudonym count <> n"
+  else begin
+    let q = group.Group.q in
+    let in_range a =
+      Bigint.compare a Bigint.zero > 0 && Bigint.compare a q < 0
+    in
+    if not (Array.for_all in_range alphas) then
+      Error "pseudonym outside Z_q^*"
+    else begin
+      let seen = Hashtbl.create n in
+      Array.iter (fun a -> Hashtbl.replace seen (Bigint.to_string a) ()) alphas;
+      if Hashtbl.length seen <> n then Error "duplicate pseudonym"
+      else
+        Ok
+          { group;
+            n;
+            m;
+            c;
+            w_max;
+            sigma = w_max + c + 1;
+            alphas = Array.copy alphas }
+    end
+  end
+
 let restrict t ~keep =
   let n' = Array.length keep in
   if n' < 3 then Error "fewer than 3 surviving agents"

@@ -37,6 +37,20 @@ val make_exn :
   ?group_bits:int -> ?seed:int -> ?w_max:int -> n:int -> m:int -> c:int ->
   unit -> t
 
+val of_parts :
+  group:Group.t ->
+  n:int -> m:int -> c:int -> w_max:int ->
+  alphas:Bigint.t array ->
+  (t, string) result
+(** Rebuild a parameter set from its published components — the
+    deserialization companion of the WAL's params snapshot. Revalidates
+    everything [make] and [restrict] guarantee: the population and
+    fault-budget inequalities (including the relaxed [restrict]-shape
+    bound [w_max + c + 1 <= n]) and that the [n] pseudonyms are
+    distinct, nonzero elements of [Z_q^*]. The group itself must come
+    through {!Dmw_modular.Group.create}, which performs the structural
+    safe-prime and generator checks. *)
+
 val restrict : t -> keep:int array -> (t, string) result
 (** Parameters for a re-auction among the surviving agents [keep]
     (distinct original indices): same group, task count and bid set

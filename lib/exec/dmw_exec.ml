@@ -552,11 +552,34 @@ let validate_bids (params : Params.t) bids =
 
 (* One protocol execution over a fixed agent population. *)
 let run_attempt ~strategies ~seed ~keep_events ~batching ~hardened ~watchdog
-    ~pipeline ~faults ~backend (params : Params.t) ~bids =
+    ~pipeline ~faults ~wal ~attempt ~backend (params : Params.t) ~bids =
   validate_bids params bids;
   let n = params.n in
   let depth =
     match pipeline with Some d -> min d params.m | None -> params.m
+  in
+  (match wal with
+  | None -> ()
+  | Some w ->
+      Dmw_wal.append w
+        (Dmw_wal.Attempt_start { attempt; attempt_seed = seed; survivors = n }));
+  (* Phase checkpoints are observed on agent 0 only: by confluence and
+     the consensus invariant every correct agent's settled values are
+     identical, so one witness per attempt journals the whole story
+     (record *order* on the real-time backends may interleave with the
+     driver's records; the values may not). *)
+  let on_phase =
+    Option.map
+      (fun w ~task phase (outcome : Agent.task_outcome option) ->
+        match (phase, outcome) with
+        | Agent.Done_, Some o ->
+            Dmw_wal.append w
+              (Dmw_wal.Task_done
+                 { attempt; task; winner = o.winner; y_star = o.y_star;
+                   y_star2 = o.y_star2 })
+        | _ ->
+            Dmw_wal.append w (Dmw_wal.Task_phase { attempt; task; phase }))
+      wal
   in
   (* The master RNG and per-agent split order are the seeding
      convention shared by every backend: same seed, same agents, same
@@ -564,8 +587,9 @@ let run_attempt ~strategies ~seed ~keep_events ~batching ~hardened ~watchdog
   let master_rng = Prng.create ~seed:(seed lxor 0xA6E77) in
   let agents =
     Array.init n (fun i ->
-        Agent.create ~batching ~hardened ?watchdog ?pipeline ~params ~id:i
-          ~bids:bids.(i)
+        Agent.create ~batching ~hardened ?watchdog ?pipeline
+          ?on_phase:(if i = 0 then on_phase else None)
+          ~params ~id:i ~bids:bids.(i)
           ~strategy:(strategies i)
           ~rng:(Prng.split master_rng) ())
   in
@@ -594,6 +618,23 @@ let run_attempt ~strategies ~seed ~keep_events ~batching ~hardened ~watchdog
     ~labels:[ ("backend", B.name) ]
     "dmw_pipeline_depth" (float_of_int depth);
   Array.iter Agent.finalize_stall agents;
+  (match wal with
+  | None -> ()
+  | Some w ->
+      Array.iteri
+        (fun i a ->
+          List.iter
+            (fun (e : Audit.entry) ->
+              Dmw_wal.append w
+                (Dmw_wal.Audit_entry
+                   { attempt; agent = i; task = e.task;
+                     description = e.description; ok = e.ok }))
+            (Audit.failures (Agent.audit a));
+          match Agent.aborted a with
+          | None -> ()
+          | Some reason ->
+              Dmw_wal.append w (Dmw_wal.Abort { attempt; agent = i; reason }))
+        agents);
   let statuses =
     Array.map
       (fun a ->
@@ -712,8 +753,8 @@ let completed_attempt r =
 
 let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
     ?(keep_events = true) ?(batching = false) ?(hardened = false) ?faults
-    ?watchdog ?(retries = 0) ?pipeline ?(backend = sim ()) (params : Params.t)
-    ~bids =
+    ?watchdog ?(retries = 0) ?pipeline ?wal ?(backend = sim ())
+    (params : Params.t) ~bids =
   if retries < 0 then invalid_arg "Dmw_exec.run: negative retries";
   (match pipeline with
   | Some d when d < 1 -> invalid_arg "Dmw_exec.run: pipeline depth < 1"
@@ -728,13 +769,32 @@ let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
     | None, None -> None
   in
   let params0 = params in
+  (* The run header carries everything a resume needs to re-execute
+     the run deterministically: the fully serialized params (so a
+     restricted set round-trips), the original bids, and the effective
+     knob settings. Secrets are never journaled — recovery re-derives
+     all crypto state from the seed. *)
+  (match wal with
+  | None -> ()
+  | Some w ->
+      Dmw_wal.append w
+        (Dmw_wal.Run_start
+           { seed;
+             params = Dmw_wal.snapshot_of_params params;
+             bids;
+             batching;
+             hardened;
+             pipeline;
+             retries;
+             watchdog;
+             faults = Option.map Fault.to_string faults }));
   let frozen = Array.make params0.Params.n None in
   let rec attempt_loop ~attempt ~params ~bids ~strategies ~orig ~faults =
     let r =
       run_attempt ~strategies
         ~seed:(seed + (7919 * (attempt - 1)))
-        ~keep_events ~batching ~hardened ~watchdog ~pipeline ~faults ~backend
-        params ~bids
+        ~keep_events ~batching ~hardened ~watchdog ~pipeline ~faults ~wal
+        ~attempt ~backend params ~bids
     in
     let give_up () = remap_result ~params0 ~orig ~frozen ~attempt r in
     if completed_attempt r || attempt > retries then give_up ()
@@ -798,9 +858,217 @@ let run ?(strategies = fun _ -> Strategy.Suggested) ?(seed = 42)
       end
     end
   in
-  attempt_loop ~attempt:1 ~params ~bids ~strategies
-    ~orig:(Array.init params0.Params.n Fun.id)
-    ~faults
+  let r =
+    attempt_loop ~attempt:1 ~params ~bids ~strategies
+      ~orig:(Array.init params0.Params.n Fun.id)
+      ~faults
+  in
+  (match wal with
+  | None -> ()
+  | Some w ->
+      Dmw_wal.append w
+        (Dmw_wal.Run_end
+           { schedule =
+               Option.map Dmw_mechanism.Schedule.assignment r.schedule;
+             first_prices = r.first_prices;
+             second_prices = r.second_prices;
+             payments = r.payments;
+             attempts = r.attempts;
+             excluded = r.excluded });
+      Dmw_wal.sync w);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Crash-resume from the write-ahead log                               *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = { result : result; kept : int; attempts_started : int }
+
+let ( let* ) = Result.bind
+
+(* Journaled task settlements, keyed by (attempt, task). *)
+let dones_of records =
+  List.filter_map
+    (function
+      | Dmw_wal.Task_done d ->
+          Some ((d.attempt, d.task), (d.winner, d.y_star, d.y_star2))
+      | _ -> None)
+    records
+
+let resume ?(keep_events = true) ?backend ?(journal = true) path =
+  let* recovered =
+    Result.map_error Dmw_wal.error_to_string (Dmw_wal.read path)
+  in
+  let records = recovered.Dmw_wal.records in
+  let* header =
+    match records with
+    | (Dmw_wal.Run_start _ as h) :: _ -> Ok h
+    | _ -> Error "WAL has no Run_start header: nothing to resume"
+  in
+  (* A multiply-resumed log holds one segment per process incarnation;
+     determinism demands they all describe the same run. *)
+  let* () =
+    if
+      List.for_all
+        (fun r ->
+          match r with Dmw_wal.Run_start _ -> r = header | _ -> true)
+        records
+    then Ok ()
+    else Error "WAL segments disagree on the run header"
+  in
+  let* ( hseed,
+         hsnapshot,
+         hbids,
+         hbatching,
+         hhardened,
+         hpipeline,
+         hretries,
+         hwatchdog,
+         hfaults ) =
+    match header with
+    | Dmw_wal.Run_start
+        { seed; params; bids; batching; hardened; pipeline; retries; watchdog;
+          faults } ->
+        Ok
+          ( seed, params, bids, batching, hardened, pipeline, retries,
+            watchdog, faults )
+    | _ -> Error "WAL has no Run_start header: nothing to resume"
+  in
+  let* params = Dmw_wal.params_of_snapshot hsnapshot in
+  let* faults =
+    match hfaults with
+    | None -> Ok None
+    | Some s -> (
+        match Fault.of_string s with
+        | Ok f -> Ok (Some f)
+        | Error e -> Error ("journaled fault policy: " ^ e))
+  in
+  let old_dones = dones_of records in
+  let attempts_started =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Dmw_wal.Attempt_start a -> max acc a.attempt
+        | _ -> acc)
+      1 records
+  in
+  let w =
+    if journal then
+      Some (Dmw_wal.continue_file path ~valid:recovered.Dmw_wal.valid)
+    else None
+  in
+  (match w with
+  | None -> ()
+  | Some w -> Dmw_wal.append w (Dmw_wal.Resumed { kept = List.length old_dones }));
+  (* Recovery is re-execution: per-agent RNG streams are shared across
+     the tasks of a run, so skipping settled auctions would desync the
+     survivors' randomness. The journaled settlements instead become
+     obligations the re-run must reproduce exactly. *)
+  let t0 = Unix.gettimeofday () in
+  let run_again () =
+    run ~seed:hseed ~keep_events ~batching:hbatching ~hardened:hhardened
+      ?faults ?watchdog:hwatchdog ~retries:hretries ?pipeline:hpipeline ?wal:w
+      ?backend params ~bids:hbids
+  in
+  let result =
+    match w with
+    | None -> run_again ()
+    | Some w -> Fun.protect ~finally:(fun () -> Dmw_wal.close w) run_again
+  in
+  Dmw_obs.Span.emit ~name:"wal recovery"
+    ~attrs:
+      [ ("kept", string_of_int (List.length old_dones));
+        ("attempts_started", string_of_int attempts_started) ]
+    ~t_start:t0
+    ~t_stop:(Unix.gettimeofday ())
+    ()
+  |> ignore;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.bump "dmw_wal_recoveries_total" 1;
+    Obs.Metrics.bump "dmw_wal_recovered_records_total" (List.length old_dones)
+  end;
+  (* Cross-check: everything the crashed run journaled must be a
+     sub-history of the re-run. With journaling on, compare against the
+     fresh segment's own records; otherwise fall back to the final
+     attempt's consensus view. A mismatch means the log belongs to a
+     different run (or strategies differed) — refuse rather than
+     mis-resume. *)
+  let* () =
+    if journal then begin
+      let* reread =
+        Result.map_error Dmw_wal.error_to_string (Dmw_wal.read path)
+      in
+      let fresh_segment =
+        List.rev
+          (List.fold_left
+             (fun acc r ->
+               match r with Dmw_wal.Resumed _ -> [] | r -> r :: acc)
+             [] reread.Dmw_wal.records)
+      in
+      let new_dones = dones_of fresh_segment in
+      let rec check = function
+        | [] -> Ok ()
+        | (((attempt, task), v) as _old) :: rest -> (
+            match List.assoc_opt (attempt, task) new_dones with
+            | Some v' when v' = v -> check rest
+            | _ ->
+                Error
+                  ("journaled settlement of attempt "
+                  ^ string_of_int attempt ^ ", task " ^ string_of_int task
+                  ^ " does not match the resumed run"))
+      in
+      check old_dones
+    end
+    else begin
+      (* No fresh journal to diff against: verify the final attempt's
+         settlements against the consensus result (winner indices are
+         attempt-local; survivors keep ascending order, so the
+         non-excluded original indices are the rank map). *)
+      let orig =
+        Array.of_list
+          (List.filter
+             (fun i -> not (Array.mem i result.excluded))
+             (List.init result.params.Params.n Fun.id))
+      in
+      match (result.schedule, result.first_prices, result.second_prices) with
+      | Some s, Some fp, Some sp ->
+          let assignment = Dmw_mechanism.Schedule.assignment s in
+          let ok =
+            List.for_all
+              (fun ((attempt, task), (winner, y1, y2)) ->
+                attempt <> result.attempts
+                || task >= 0
+                   && task < Array.length assignment
+                   && winner >= 0
+                   && winner < Array.length orig
+                   && assignment.(task) = orig.(winner)
+                   && fp.(task) = y1 && sp.(task) = y2)
+              old_dones
+          in
+          if ok then Ok ()
+          else Error "journaled settlements do not match the resumed run"
+      | _ -> Ok ()
+    end
+  in
+  (* A log that already holds a Run_end describes a completed run; the
+     re-run must land on the very same consensus. *)
+  let* () =
+    let matches (e : _) =
+      match e with
+      | Dmw_wal.Run_end e ->
+          e.schedule
+          = Option.map Dmw_mechanism.Schedule.assignment result.schedule
+          && e.first_prices = result.first_prices
+          && e.second_prices = result.second_prices
+          && e.payments = result.payments
+          && e.attempts = result.attempts
+          && e.excluded = result.excluded
+      | _ -> true
+    in
+    if List.for_all matches records then Ok ()
+    else Error "journaled Run_end does not match the resumed run"
+  in
+  Ok { result; kept = List.length old_dones; attempts_started }
 
 (* ------------------------------------------------------------------ *)
 (* Derived quantities                                                  *)

@@ -171,6 +171,7 @@ val run :
   ?watchdog:float ->
   ?retries:int ->
   ?pipeline:int ->
+  ?wal:Dmw_wal.writer ->
   ?backend:backend ->
   Params.t ->
   bids:int array array ->
@@ -212,7 +213,52 @@ val run :
     among the survivors (fresh polynomials, attempt-salted seed,
     [Params.restrict]ed parameters) up to [retries] times. The result
     is expressed in the original agent numbering with the expelled
-    agents listed in [excluded]. *)
+    agents listed in [excluded].
+
+    [wal] journals the run into a write-ahead audit log: the
+    deterministic run header (seed, fully serialized params, bids,
+    knob settings, fault policy), per-attempt phase checkpoints and
+    task settlements observed on agent 0, every failed audit check and
+    abort, and the final consensus outcome. See {!Dmw_wal} and
+    {!resume}. *)
+
+type recovery = {
+  result : result;
+      (** The outcome of the resumed run — bit-identical to what an
+          uninterrupted run would have produced, including message
+          accounting (recovery is full re-execution). *)
+  kept : int;
+      (** Task settlements the interrupted process had journaled; each
+          was verified against the re-run before being trusted. *)
+  attempts_started : int;
+      (** Protocol attempts the interrupted run had begun. *)
+}
+
+val resume :
+  ?keep_events:bool ->
+  ?backend:backend ->
+  ?journal:bool ->
+  string ->
+  (recovery, string) Stdlib.result
+(** [resume path] recovers an interrupted {!run} from its write-ahead
+    log: the header journaled by [?wal] is read back (tolerating a torn
+    tail), params and fault policy are reconstructed and revalidated,
+    and the whole run is re-executed deterministically from the
+    journaled (seed, params, bids) — per-agent RNG streams span all of
+    a run's tasks, so settled auctions cannot be skipped without
+    desyncing the survivors; instead the journaled settlements become
+    obligations the re-run must reproduce {e exactly}, and resume
+    refuses with [Error] when any journaled value disagrees (a log from
+    a different run, or a run under non-default strategies, which are
+    deliberately not journaled). Epoch/attempt seeds are rederived from
+    the header ([seed + 7919*(attempt-1)]), so re-auction chains replay
+    identically.
+
+    With [journal] (default true) the re-run appends a fresh
+    [Resumed]-delimited segment to the same file — so a resumed process
+    that dies again can itself be resumed. [backend] defaults to the
+    simulator; cross-backend signature equality makes the choice
+    outcome-invariant. *)
 
 val completed : result -> bool
 (** True when a consensus schedule and full payments exist. *)

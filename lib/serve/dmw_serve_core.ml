@@ -54,6 +54,9 @@ type job_result = {
 type t = {
   cfg : config;
   w_max : int;  (* resolved bid-range bound, for submit-time checks *)
+  wal : Dmw_wal.writer option;
+      (* Write-ahead journal: the writer serializes its own appends,
+         so the submitter and dispatcher threads may both write. *)
   t0 : float;  (* service birth; the obs clock every span shares *)
   fabric : Fabric.t;
   queue : job Bounded_queue.t;
@@ -84,6 +87,9 @@ type t = {
 
 let backend_label = "serve"
 let obs_labels = [ ("backend", backend_label) ]
+
+let journal t r =
+  match t.wal with None -> () | Some w -> Dmw_wal.append w r
 
 (* ------------------------------------------------------------------ *)
 (* Workers                                                             *)
@@ -227,6 +233,8 @@ let run_epoch t wave =
      Dmw_exec.run ~seed:s on the same jobs; later waves re-salt with
      the same stride the one-shot runner uses between attempts. *)
   let epoch_seed = t.cfg.seed + (7919 * (epoch - 1)) in
+  journal t
+    (Dmw_wal.Epoch_start { epoch; jobs = Array.map (fun job -> job.id) wave });
   let master_rng = Prng.create ~seed:(epoch_seed lxor 0xA6E77) in
   let agents =
     Array.init n (fun i ->
@@ -282,8 +290,20 @@ let run_epoch t wave =
         | Some _ -> None
         | None -> Some "wave failed: no consensus"
       in
+      (match outcome with
+      | Some (o : Agent.task_outcome) ->
+          journal t
+            (Dmw_wal.Job_done
+               { job = job.id; epoch; task = j; winner = o.winner;
+                 y_star = o.y_star; y_star2 = o.y_star2 })
+      | None ->
+          journal t
+            (Dmw_wal.Job_failed
+               { job = job.id; epoch; task = j;
+                 error = Option.value error ~default:"unknown" }));
       publish t { job = job.id; epoch; task = j; outcome; error })
-    wave
+    wave;
+  journal t (Dmw_wal.Epoch_end { epoch })
 
 let fail_wave t wave message =
   (* t.epochs is owned by rmutex; the dispatcher may be bumping it
@@ -291,6 +311,8 @@ let fail_wave t wave message =
   let epoch = Mutex_util.with_lock t.rmutex (fun () -> t.epochs + 1) in
   Array.iteri
     (fun j job ->
+      journal t
+        (Dmw_wal.Job_failed { job = job.id; epoch; task = j; error = message });
       publish t
         { job = job.id; epoch; task = j; outcome = None;
           error = Some message })
@@ -334,7 +356,9 @@ let resume t =
       t.paused <- false;
       Condition.broadcast t.pcond)
 
-let create ?(paused = false) cfg =
+let create ?(paused = false) ?wal ?(epoch_base = 0) ?(job_base = 0) cfg =
+  if epoch_base < 0 then invalid_arg "Dmw_serve_core.create: epoch_base < 0";
+  if job_base < 0 then invalid_arg "Dmw_serve_core.create: job_base < 0";
   match
     Params.make ~group_bits:cfg.group_bits ~seed:cfg.seed ?w_max:cfg.w_max
       ~n:cfg.n ~m:1 ~c:cfg.c ()
@@ -344,6 +368,7 @@ let create ?(paused = false) cfg =
       let t =
         { cfg;
           w_max = probe.Params.w_max;
+          wal;
           t0 = Unix.gettimeofday ();
           fabric = Fabric.create ~endpoints:(cfg.n + 1);
           queue = Bounded_queue.create ~capacity:cfg.queue_capacity;
@@ -352,17 +377,22 @@ let create ?(paused = false) cfg =
           workers = [||];
           dispatcher = None;
           smutex = Mutex.create ();
-          next_job = 0;
+          next_job = job_base;
           rmutex = Mutex.create ();
           rcond = Condition.create ();
           results = Hashtbl.create 64;
-          epochs = 0;
+          epochs = epoch_base;
           jobs_done = 0;
           stopped = false;
           pmutex = Mutex.create ();
           pcond = Condition.create ();
           paused }
       in
+      journal t
+        (Dmw_wal.Serve_start
+           { n = cfg.n; c = cfg.c; group_bits = cfg.group_bits;
+             seed = cfg.seed; w_max = cfg.w_max; pipeline = cfg.pipeline;
+             max_wave = cfg.max_wave });
       t.workers <- Array.init cfg.n (fun i -> Thread.create (worker t i) ());
       t.dispatcher <- Some (Thread.create dispatch t);
       t
@@ -380,6 +410,8 @@ let submit t ~bids =
         match Bounded_queue.try_push t.queue { id; w_vector = bids } with
         | `Ok ->
             t.next_job <- id + 1;
+            journal t
+              (Dmw_wal.Job_submitted { job = id; bids = Array.copy bids });
             `Accepted id
         | `Full -> `Busy
         | `Closed -> `Closed)
@@ -402,6 +434,246 @@ let shutdown t =
   Mutex_util.with_lock t.rmutex (fun () ->
       t.stopped <- true;
       Condition.broadcast t.rcond)
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  n : int;
+  c : int;
+  group_bits : int;
+  seed : int;
+  w_max : int option;
+  pipeline : int option;
+  max_wave : int;
+  results : job_result list;
+  kept : int;
+  replayed : int;
+  next_epoch : int;
+  next_job : int;
+}
+
+let ( let* ) = Result.bind
+
+(* Recovery re-derives every interrupted epoch from the journal alone:
+   epoch [e] of a service seeded with [s] is, by construction,
+   [Dmw_exec.run ~seed:(s + 7919*(e-1))] over the wave's bid vectors,
+   and signatures are backend-invariant, so the sim backend replays a
+   socket service's waves bit for bit. Settlements the crashed process
+   already journaled become obligations the replay must reproduce. *)
+let recover ?journal:w records =
+  let jot r = match w with None -> () | Some jw -> Dmw_wal.append jw r in
+  let* hdr =
+    let rec find = function
+      | [] -> Error "write-ahead log has no Serve_start header"
+      | (Dmw_wal.Serve_start _ as h) :: _ -> Ok h
+      | _ :: rest -> find rest
+    in
+    find records
+  in
+  let* () =
+    (* A resumed service appends a fresh Serve_start segment; all
+       segments must describe the same service. *)
+    if
+      List.for_all
+        (function Dmw_wal.Serve_start _ as r -> r = hdr | _ -> true)
+        records
+    then Ok ()
+    else Error "write-ahead log mixes headers from different services"
+  in
+  let* n, c, group_bits, seed, w_max, pipeline, max_wave =
+    match hdr with
+    | Dmw_wal.Serve_start { n; c; group_bits; seed; w_max; pipeline; max_wave }
+      ->
+        Ok (n, c, group_bits, seed, w_max, pipeline, max_wave)
+    | _ -> Error "unreachable: the header is a Serve_start record"
+  in
+  (* Fold the journal; the last record naming a job or epoch wins, so
+     recovering an already-recovered log sees the repaired state. *)
+  let subs = Hashtbl.create 64 in
+  let order = ref [] in
+  let settled = Hashtbl.create 64 in
+  let estarts = Hashtbl.create 16 in
+  let eends = Hashtbl.create 16 in
+  let dispatched = Hashtbl.create 64 in
+  let max_epoch = ref 0 in
+  let max_job = ref (-1) in
+  let note_job j = if j > !max_job then max_job := j in
+  List.iter
+    (fun r ->
+      match r with
+      | Dmw_wal.Job_submitted { job; bids } ->
+          if not (Hashtbl.mem subs job) then order := job :: !order;
+          Hashtbl.replace subs job bids;
+          note_job job
+      | Dmw_wal.Epoch_start { epoch; jobs } ->
+          Hashtbl.replace estarts epoch jobs;
+          Array.iter (fun j -> Hashtbl.replace dispatched j ()) jobs;
+          if epoch > !max_epoch then max_epoch := epoch
+      | Dmw_wal.Epoch_end { epoch } -> Hashtbl.replace eends epoch ()
+      | Dmw_wal.Job_done { job; epoch; task; winner; y_star; y_star2 } ->
+          Hashtbl.replace settled job
+            { job; epoch; task;
+              outcome = Some { Agent.winner; y_star; y_star2 };
+              error = None };
+          note_job job
+      | Dmw_wal.Job_failed { job; epoch; task; error } ->
+          Hashtbl.replace settled job
+            { job; epoch; task; outcome = None; error = Some error };
+          note_job job
+      | _ -> ())
+    records;
+  let kept = Hashtbl.length settled in
+  jot (Dmw_wal.Resumed { kept });
+  (* Waves still owed an execution: journaled epochs that never reached
+     their Epoch_end, then never-dispatched submissions batched
+     [max_wave] at a time into fresh epochs, in submission order. *)
+  let unfinished =
+    Hashtbl.fold
+      (fun e jobs acc -> if Hashtbl.mem eends e then acc else (e, jobs) :: acc)
+      estarts []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let fresh_ids =
+    List.rev !order
+    |> List.filter (fun j ->
+           (not (Hashtbl.mem dispatched j)) && not (Hashtbl.mem settled j))
+  in
+  let rec take k = function
+    | x :: rest when k > 0 ->
+        let xs, rest' = take (k - 1) rest in
+        (x :: xs, rest')
+    | rest -> ([], rest)
+  in
+  let rec batch acc = function
+    | [] -> List.rev acc
+    | ids ->
+        let wave, rest = take max_wave ids in
+        batch (Array.of_list wave :: acc) rest
+  in
+  let fresh_waves =
+    List.mapi (fun k ids -> (!max_epoch + 1 + k, ids)) (batch [] fresh_ids)
+  in
+  let next_epoch = !max_epoch + List.length fresh_waves in
+  let exec ~epoch jobs_bids =
+    let m = Array.length jobs_bids in
+    let* params =
+      match Params.make ~group_bits ~seed ?w_max ~n ~m ~c () with
+      | Ok p -> Ok p
+      | Error e -> Error ("invalid journaled service parameters: " ^ e)
+    in
+    let bids =
+      Array.init n (fun i -> Array.map (fun bv -> bv.(i)) jobs_bids)
+    in
+    let* r =
+      match
+        Dmw_exec.run ~seed:(seed + (7919 * (epoch - 1))) ~keep_events:false
+          ?pipeline params ~bids
+      with
+      | r -> Ok r
+      | exception Invalid_argument e -> Error ("replay failed: " ^ e)
+    in
+    match
+      (r.Dmw_exec.schedule, r.Dmw_exec.first_prices, r.Dmw_exec.second_prices)
+    with
+    | Some s, Some fp, Some sp ->
+        let assignment = Dmw_mechanism.Schedule.assignment s in
+        Ok
+          (Array.init m (fun j ->
+               Some
+                 { Agent.winner = assignment.(j); y_star = fp.(j);
+                   y_star2 = sp.(j) }))
+    | _ -> Ok (Array.make m None)
+  in
+  let replayed = ref 0 in
+  let run_wave (epoch, ids) =
+    let* jobs_bids =
+      Array.fold_left
+        (fun acc j ->
+          let* acc = acc in
+          match Hashtbl.find_opt subs j with
+          | Some bv when Array.length bv = n -> Ok (bv :: acc)
+          | Some _ ->
+              Error
+                ("journaled bids for job " ^ string_of_int j
+               ^ " do not match the population size")
+          | None ->
+              Error
+                ("epoch " ^ string_of_int epoch ^ " references job "
+               ^ string_of_int j ^ " with no journaled submission"))
+        (Ok []) ids
+    in
+    let jobs_bids = Array.of_list (List.rev jobs_bids) in
+    jot (Dmw_wal.Epoch_start { epoch; jobs = ids });
+    let* outcomes = exec ~epoch jobs_bids in
+    let m = Array.length ids in
+    let rec settle_task j =
+      if j = m then Ok ()
+      else
+        let id = ids.(j) in
+        let result =
+          match outcomes.(j) with
+          | Some o ->
+              { job = id; epoch; task = j; outcome = Some o; error = None }
+          | None ->
+              { job = id; epoch; task = j; outcome = None;
+                error = Some "wave failed: no consensus" }
+        in
+        let* () =
+          (* A value the crashed process journaled must be reproduced
+             exactly; a journaled environmental failure may be healed
+             by the replay. *)
+          match Hashtbl.find_opt settled id with
+          | Some { outcome = Some o1; _ } -> (
+              match result.outcome with
+              | Some o2 when o1 = o2 -> Ok ()
+              | Some _ | None ->
+                  Error
+                    ("journaled settlement of job " ^ string_of_int id
+                   ^ " does not match the replayed epoch "
+                   ^ string_of_int epoch))
+          | Some { outcome = None; _ } | None -> Ok ()
+        in
+        (match result.outcome with
+        | Some o ->
+            jot
+              (Dmw_wal.Job_done
+                 { job = id; epoch; task = j; winner = o.Agent.winner;
+                   y_star = o.Agent.y_star; y_star2 = o.Agent.y_star2 })
+        | None ->
+            jot
+              (Dmw_wal.Job_failed
+                 { job = id; epoch; task = j;
+                   error = Option.value result.error ~default:"unknown" }));
+        Hashtbl.replace settled id result;
+        settle_task (j + 1)
+    in
+    let* () = settle_task 0 in
+    jot (Dmw_wal.Epoch_end { epoch });
+    incr replayed;
+    Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc wave ->
+        let* () = acc in
+        run_wave wave)
+      (Ok ()) (unfinished @ fresh_waves)
+  in
+  (match w with Some jw -> Dmw_wal.sync jw | None -> ());
+  let module Metrics = Dmw_obs.Metrics in
+  if Metrics.enabled () then begin
+    Metrics.bump ~labels:obs_labels "dmw_wal_recoveries_total" 1;
+    Metrics.bump ~labels:obs_labels "dmw_wal_recovered_records_total" kept
+  end;
+  let results =
+    Hashtbl.fold (fun _ r acc -> r :: acc) settled []
+    |> List.sort (fun a b -> Int.compare a.job b.job)
+  in
+  Ok
+    { n; c; group_bits; seed; w_max; pipeline; max_wave; results; kept;
+      replayed = !replayed; next_epoch; next_job = !max_job + 1 }
 
 (* ------------------------------------------------------------------ *)
 (* Front door                                                          *)

@@ -56,12 +56,30 @@ val config :
 
 type t
 
-val create : ?paused:bool -> config -> t
+val create :
+  ?paused:bool ->
+  ?wal:Dmw_wal.writer ->
+  ?epoch_base:int ->
+  ?job_base:int ->
+  config ->
+  t
 (** Allocate the fabric, connect the [n] agent endpoints and start the
     dispatcher. [paused] (default [false]) holds the dispatcher back
     until {!resume} — how tests submit a full wave deterministically
     before any epoch starts. Raises [Invalid_argument] when the
-    population parameters do not validate. *)
+    population parameters do not validate.
+
+    [wal] journals the service into a write-ahead audit log: a
+    [Serve_start] header at creation, every accepted submission with
+    its bid vector, and each epoch's dispatch and per-job settlements —
+    enough for {!recover} to replay any interrupted wave
+    deterministically. The writer serializes concurrent appends; the
+    caller keeps ownership (close it after {!shutdown}).
+
+    [epoch_base] / [job_base] (default [0]) start the epoch counter and
+    job-id allocator above values already consumed — how a service
+    restarted after {!recover} continues the same epoch-seed chain and
+    id space instead of colliding with journaled history. *)
 
 val resume : t -> unit
 (** Release a [create ~paused:true] dispatcher. Idempotent. *)
@@ -102,6 +120,53 @@ type stats = { epochs : int; jobs : int; queue_depth : int }
 
 val stats : t -> stats
 
+(** {1 Crash recovery} *)
+
+type recovery = {
+  n : int;
+  c : int;
+  group_bits : int;
+  seed : int;
+  w_max : int option;
+  pipeline : int option;
+  max_wave : int;
+      (** The journaled service identity, read back from the
+          [Serve_start] header (all segments must agree). *)
+  results : job_result list;
+      (** Every journaled job's settlement, ascending by job id —
+          settlements read from the log plus those produced by
+          replaying interrupted waves. *)
+  kept : int;  (** Settlements read straight off the log. *)
+  replayed : int;  (** Epochs (re-)executed during recovery. *)
+  next_epoch : int;
+      (** Highest epoch number now settled — pass as [create]'s
+          [epoch_base] to continue the service. *)
+  next_job : int;
+      (** One past the highest journaled job id — pass as [job_base]. *)
+}
+
+val recover :
+  ?journal:Dmw_wal.writer ->
+  Dmw_wal.record list ->
+  (recovery, string) Stdlib.result
+(** Recover an interrupted service from its journal (the records of
+    {!Dmw_wal.read}, which already tolerates a torn tail). Epoch [e] of
+    a service seeded with [s] is by construction
+    [Dmw_exec.run ~seed:(s + 7919*(e-1))] over the wave's bid vectors,
+    and consensus signatures are backend-invariant — so every epoch
+    that never journaled its [Epoch_end] is replayed bit-identically on
+    the sim backend, and submissions never dispatched are batched
+    [max_wave] at a time into fresh epochs. Settlements the crashed
+    process already journaled are obligations: a replayed value that
+    disagrees fails with [Error] (wrong log for this run, or a
+    corrupted one); a journaled {e environmental} failure (timeout,
+    crashed wave) is healed by its replay instead.
+
+    [journal] appends the recovery to the same log as a fresh
+    [Resumed]-delimited segment — give it a
+    {!Dmw_wal.continue_file} writer so a recovery that itself dies
+    remains recoverable. *)
+
 (** {1 Front door}
 
     A newline-delimited text protocol over a Unix-domain socket, small
@@ -123,6 +188,12 @@ val stats : t -> stats
 
 module Front : sig
   type server
+
+  val result_line : job_result -> string
+  (** The wire line for a settled job — [result <id> epoch=<e>
+      task=<j> winner=<i> ystar=<y> ystar2=<y'>] or [failed <id>
+      <reason>]. Exposed so recovery tooling prints journaled results
+      in exactly the front door's format. *)
 
   val start : t -> socket_path:string -> server
   (** Bind (replacing any stale socket file), listen, and serve each

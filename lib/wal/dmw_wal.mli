@@ -1,0 +1,203 @@
+(** Durable write-ahead audit log for task auctions.
+
+    The WAL turns the paper's obedient-transport assumption (Theorem 3)
+    into an explicit, recoverable boundary: every protocol step that
+    matters for recovery — the run header (seed, params, bids, fault
+    policy), per-task phase-machine checkpoints, typed {!Dmw_core.Audit}
+    failures and aborts, and the final consensus outcome — is persisted
+    as a length-prefixed, checksummed, fsync-batched record.
+
+    Because [dmw_det] proves every journaled value is a pure function of
+    (seed, params, bids), recovery never replays message state: it
+    re-executes the whole run deterministically from the journaled
+    header and cross-checks the crashed run's journaled outcomes against
+    the re-execution. Crypto material (shares, polynomials) is therefore
+    {e deliberately never written} — the log stays on the public side of
+    the Theorem 10 privacy boundary.
+
+    On-disk format (all integers big-endian):
+
+    {v
+      file   := magic record*
+      magic  := "DMWWAL01"                      (8 bytes)
+      record := len:u32 crc:u32 payload         (len = |payload|, crc = CRC-32 of payload)
+      payload:= tag:u8 fields...                (see PROTOCOL.md section 8)
+    v}
+
+    The reader tolerates a torn tail: decoding stops cleanly at the
+    first short, oversized or checksum-failing record and reports a
+    typed {!error}, so a crash mid-[write] can never corrupt recovery
+    of the preceding records. *)
+
+type params_snapshot = {
+  p : string;  (** Group modulus, decimal. *)
+  q : string;  (** Subgroup order, decimal. *)
+  z1 : string; (** First generator, decimal. *)
+  z2 : string; (** Second generator, decimal. *)
+  n : int;
+  m : int;
+  c : int;
+  w_max : int;
+  alphas : string array;  (** Pseudonyms, decimal, agent order. *)
+}
+(** A self-contained serialization of {!Dmw_core.Params.t}: the full
+    group and pseudonym set rather than the [make] inputs, so restricted
+    (re-auctioned) parameter sets round-trip exactly. *)
+
+type record =
+  | Run_start of {
+      seed : int;
+      params : params_snapshot;
+      bids : int array array;
+      batching : bool;
+      hardened : bool;
+      pipeline : int option;
+      retries : int;
+      watchdog : float option;  (** Effective watchdog period. *)
+      faults : string option;   (** {!Dmw_sim.Fault.to_string} spec. *)
+    }  (** Everything needed to re-execute the run deterministically. *)
+  | Attempt_start of { attempt : int; attempt_seed : int; survivors : int }
+  | Task_phase of { attempt : int; task : int; phase : Dmw_core.Agent.phase }
+      (** Agent 0's phase machine crossed a boundary for [task]. *)
+  | Task_done of {
+      attempt : int;
+      task : int;
+      winner : int;  (** Attempt-local agent index. *)
+      y_star : int;
+      y_star2 : int;
+    }  (** A task auction settled: winner and both prices. *)
+  | Audit_entry of {
+      attempt : int;
+      agent : int;
+      task : int;
+      description : string;
+      ok : bool;
+    }  (** A failed consistency check (only failures are journaled). *)
+  | Abort of { attempt : int; agent : int; reason : Dmw_core.Audit.reason }
+  | Run_end of {
+      schedule : int array option;
+      first_prices : int array option;
+      second_prices : int array option;
+      payments : float option array;
+      attempts : int;
+      excluded : int array;
+    }  (** The consensus outcome of the completed run. *)
+  | Resumed of { kept : int }
+      (** A recovery happened here; [kept] journaled task outcomes from
+          the interrupted segment were verified against the re-run. *)
+  | Serve_start of {
+      n : int;
+      c : int;
+      group_bits : int;
+      seed : int;
+      w_max : int option;
+      pipeline : int option;
+      max_wave : int;
+    }  (** Service configuration header ([dmw_serve]). *)
+  | Job_submitted of { job : int; bids : int array }
+  | Epoch_start of { epoch : int; jobs : int array }
+  | Job_done of {
+      job : int;
+      epoch : int;
+      task : int;
+      winner : int;
+      y_star : int;
+      y_star2 : int;
+    }
+  | Job_failed of { job : int; epoch : int; task : int; error : string }
+  | Epoch_end of { epoch : int }
+
+val snapshot_of_params : Dmw_core.Params.t -> params_snapshot
+
+val params_of_snapshot :
+  params_snapshot -> (Dmw_core.Params.t, string) result
+(** Reconstruct and fully revalidate parameters: the group is rebuilt
+    through {!Dmw_modular.Group.create} (safe-prime and generator
+    checks) and the scalars through {!Dmw_core.Params.of_parts}. *)
+
+(** {1 Binary codec} *)
+
+val encode : record -> string
+(** Payload bytes of one record (no length/crc framing). *)
+
+val decode : string -> (record, string) result
+(** Inverse of {!encode}; [Error] names the first malformed field.
+    Never raises, whatever the input bytes. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3) of a byte string, in [0, 0xFFFFFFFF]. *)
+
+val max_payload : int
+(** Upper bound on [len]; larger declared lengths are rejected as
+    {!Oversized} rather than allocated. *)
+
+(** {1 Recovery reader} *)
+
+type error =
+  | Bad_magic
+      (** The file does not begin with the WAL magic — not a WAL. *)
+  | Truncated of { offset : int; have : int; need : int }
+      (** The record at [offset] declares more bytes than remain. *)
+  | Bad_checksum of { offset : int }
+      (** The payload at [offset] fails its CRC. *)
+  | Oversized of { offset : int; declared : int }
+      (** Declared length exceeds {!max_payload}. *)
+  | Negative_length of { offset : int; declared : int }
+      (** The u32 length field has its sign bit set. *)
+  | Bad_record of { offset : int; reason : string }
+      (** Framing is intact but the payload does not decode. *)
+
+type tail =
+  | Clean  (** The file ends exactly at a record boundary. *)
+  | Torn of error
+      (** Decoding stopped early; the error describes the torn tail. *)
+
+type recovered = {
+  records : record list;  (** Every intact record, in file order. *)
+  tail : tail;
+  valid : int;  (** Byte offset of the end of the last intact record. *)
+}
+
+val read_string : string -> (recovered, error) result
+(** Decode an in-memory WAL image. [Error Bad_magic] if the header is
+    absent or wrong; otherwise always [Ok], with damage confined to
+    [tail]. Total: never raises. *)
+
+val read : string -> (recovered, error) result
+(** {!read_string} over a file's contents. Filesystem-level failures
+    (missing file, permissions) surface as [Error (Bad_record _)] at
+    offset 0; never raises. *)
+
+val error_to_string : error -> string
+
+(** {1 Append-side writer} *)
+
+type writer
+(** A mutex-guarded, fsync-batched appender. High-rate checkpoint
+    records ([Task_phase], [Audit_entry], [Attempt_start]) are batched;
+    settlement and header records ([Task_done], [Run_end], epoch and
+    job records, ...) force an [fsync] so anything a recovery would
+    trust is durable before the process advances. *)
+
+val create : ?sync_every:int -> string -> writer
+(** [create path] truncates [path] and writes the magic header.
+    [sync_every] (default 32) bounds how many batched records may sit
+    unsynced. *)
+
+val continue_file : ?sync_every:int -> string -> valid:int -> writer
+(** Reopen an existing WAL for appending after recovery: the file is
+    truncated to [valid] bytes (dropping any torn tail) and subsequent
+    {!append}s extend it. *)
+
+val append : writer -> record -> unit
+(** Frame, checksum and persist one record. Thread-safe. No-op after
+    {!close}. Bumps the [dmw_wal_records_total] / [dmw_wal_bytes_total]
+    / [dmw_wal_fsyncs_total] counters when metrics are enabled. *)
+
+val sync : writer -> unit
+(** Force any batched records to disk. *)
+
+val close : writer -> unit
+(** [sync] and release the file descriptor. Idempotent. *)
+
+val path : writer -> string

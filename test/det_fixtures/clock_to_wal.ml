@@ -1,0 +1,10 @@
+(* Seeded determinism defect: a wall-clock reading journaled into the
+   write-ahead audit log. dmw_det must flag the Dmw_wal.append call
+   (D-wal) — a crash-resume replay of this journal could never
+   reproduce the record. *)
+
+let leak w =
+  let stamp = int_of_float (Unix.gettimeofday ()) in
+  Dmw_wal.append w
+    (Dmw_wal.Task_done
+       { attempt = 1; task = 0; winner = stamp; y_star = 1; y_star2 = 1 })

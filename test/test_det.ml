@@ -38,6 +38,9 @@ let test_seeded () =
   (* A wall-clock reading in a frame payload. *)
   check ~rule_path:"lib/fixtures/clock_to_wire.ml" "Clock_to_wire"
     [ ("D-wire", 6) ];
+  (* A wall-clock reading journaled into the write-ahead log. *)
+  check ~rule_path:"lib/fixtures/clock_to_wal.ml" "Clock_to_wal"
+    [ ("D-wal", 8) ];
   (* Hashtbl iteration order inside the consensus signature. *)
   check ~rule_path:"lib/fixtures/unsorted_consensus.ml" "Unsorted_consensus"
     [ ("D-consensus", 6) ];

@@ -156,6 +156,7 @@ let sink_fn (m, v) =
   | ("Fabric" | "Endpoint"), ("send" | "publish" | "post") ->
       Some ("D-wire", m ^ "." ^ v)
   | "Audit", "log" -> Some ("D-audit", "Audit.log")
+  | "Dmw_wal", "append" -> Some ("D-wal", "Dmw_wal.append")
   | "Prng", "create" -> Some ("D-seed", "the Prng.create seed")
   | "Fault", "instantiate" -> Some ("D-seed", "the Fault.instantiate seed")
   | "Trace", "record" -> Some ("D-obs", "Trace.record")
