@@ -924,6 +924,136 @@ let scale_stress () =
        max_int r.Dmw_exec.statuses)
 
 (* ------------------------------------------------------------------ *)
+(* E-zoo: the mechanism matrix                                         *)
+
+(* Every registered mechanism against every workload family, scored
+   with the generic Metrics.score: mean/max makespan ratio vs the
+   exact optimum and mean frugality (payment mechanisms only). Runs
+   from one pinned seed so the BENCH_10.json rows are bit-identical
+   across runs, and fails the process when any approximation-ratio
+   invariant regresses — the CI gate for the zoo:
+
+   - optimal is exact (ratio 1),
+   - vcg-makespan shares optimal's allocation (ratio 1),
+   - lst stays within its 2-approximation,
+   - lu-yu's exact E[makespan] stays within the 1.6737 bound,
+   - minwork stays within its n-approximation. *)
+
+let mechanism_matrix_seed = 1009
+
+let mechanism_matrix () =
+  let module Mechanism = Dmw_mechanism.Mechanism in
+  let module Metrics = Dmw_mechanism.Metrics in
+  let module Luyu = Dmw_mechanism.Luyu in
+  let module Instance = Dmw_mechanism.Instance in
+  section "E-zoo: mechanism x workload matrix (DMW vs related work)";
+  let instances_per_cell = 20 in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  Printf.printf
+    "\n%d instances per cell, seed %d; ratio = makespan / exact optimum\n"
+    instances_per_cell mechanism_matrix_seed;
+  let shapes =
+    [ ((4, 6), Workload.matrix_suite ~n:4 ~m:6);
+      ((2, 6), [ ("two-machine", fun rng -> Workload.two_machine rng ~m:6 ~spread:4.0) ]) ]
+  in
+  List.iter
+    (fun ((n, m), workloads) ->
+      Printf.printf "\n-- shape n = %d, m = %d --\n" n m;
+      Printf.printf "%-14s %-14s %12s %12s %12s\n" "mechanism" "workload"
+        "mean ratio" "max ratio" "mean frugal";
+      List.iteri
+        (fun wi (workload, gen) ->
+          (* One instance set per workload cell, shared by every
+             mechanism so the columns are comparable. *)
+          let rng =
+            Prng.create ~seed:(mechanism_matrix_seed + (131 * wi) + (17 * n))
+          in
+          let instances =
+            List.init instances_per_cell (fun _ ->
+                let i = gen rng in
+                let times = Dmw_mechanism.Instance.times i in
+                let _, opt = Optimal.run times in
+                (i, times, opt))
+          in
+          List.iter
+            (fun (module M : Mechanism.S) ->
+              let ratios = ref [] and frugals = ref [] in
+              List.iteri
+                (fun k (i, times, opt) ->
+                  let prng =
+                    Prng.create
+                      ~seed:(mechanism_matrix_seed + (7919 * k) + (31 * wi))
+                  in
+                  let o = M.run ~prng times in
+                  let s = Metrics.score ~optimal:opt i ~name:M.name o in
+                  (* lu-yu is judged on its exact expected makespan,
+                     not one sampled draw — that is what its bound
+                     promises. *)
+                  let ratio =
+                    if String.equal M.name "lu-yu" then
+                      Luyu.expected_makespan times /. opt
+                    else Schedule.makespan ~times o.Mechanism.schedule /. opt
+                  in
+                  ratios := ratio :: !ratios;
+                  match s.Metrics.frugality with
+                  | Some f -> frugals := f :: !frugals
+                  | None -> ())
+                instances;
+              let count = List.length !ratios in
+              let mean =
+                List.fold_left ( +. ) 0.0 !ratios /. float_of_int count
+              in
+              let worst = List.fold_left Float.max 0.0 !ratios in
+              let frugal =
+                match !frugals with
+                | [] -> None
+                | fs ->
+                    Some
+                      (List.fold_left ( +. ) 0.0 fs
+                      /. float_of_int (List.length fs))
+              in
+              Printf.printf "%-14s %-14s %12.3f %12.3f %12s\n%!" M.name
+                workload mean worst
+                (match frugal with
+                | Some f -> Printf.sprintf "%.3f" f
+                | None -> "-");
+              Report.add_custom ~experiment:"mechanism_matrix"
+                ([ ("mechanism", Report.S M.name);
+                   ("workload", Report.S workload);
+                   ("n", Report.I n); ("m", Report.I m);
+                   ("instances", Report.I count);
+                   ("mean_ratio", Report.F mean);
+                   ("max_ratio", Report.F worst) ]
+                @
+                match frugal with
+                | Some f -> [ ("mean_frugality", Report.F f) ]
+                | None -> []);
+              (* The invariant gate. *)
+              let eps = 1e-6 in
+              let check bound label =
+                if worst > bound +. eps then
+                  violate "%s on %s (n=%d): max ratio %.6f exceeds %s %.4f"
+                    M.name workload n worst label bound
+              in
+              (match M.name with
+              | "optimal" | "vcg-makespan" -> check 1.0 "exactness"
+              | "lst" -> check 2.0 "the 2-approximation"
+              | "lu-yu" -> check Luyu.ratio_bound "the Lu-Yu bound"
+              | "minwork" | "vcg" -> check (float_of_int n) "the n-approximation"
+              | _ -> ()))
+            (Mechanism.Registry.supporting ~n ~m))
+        workloads)
+    shapes;
+  match !violations with
+  | [] -> Printf.printf "\nall approximation-ratio invariants hold\n"
+  | vs ->
+      List.iter (Printf.eprintf "VIOLATION: %s\n") (List.rev vs);
+      Printf.eprintf "%d approximation-ratio invariant(s) regressed\n"
+        (List.length vs);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 
 (* [default = false] experiments only run when named explicitly. *)
@@ -949,6 +1079,7 @@ let experiments =
     ("fault_matrix", fault_matrix);
     ("frugality", frugality);
     ("equivalence_check", equivalence_check);
+    ("mechanism_matrix", mechanism_matrix);
     ("micro_crypto", micro_crypto) ]
 
 let () =

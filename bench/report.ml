@@ -2,9 +2,12 @@
    count messages and bytes by hand out of its own trace now wraps the
    run in [measure], which turns observability on, reads the Dmw_obs
    counters afterwards, and accumulates one row per run. [flush]
-   writes the rows as one JSON array — BENCH_6.json — in the standard
+   writes the rows as one JSON array — BENCH_10.json — in the standard
    schema: experiment, backend, n, m, msgs, bytes, modexps, wall_ns,
-   duration_ns. *)
+   duration_ns. Experiments whose results are scores rather than
+   traffic (mechanism_matrix) append [custom] rows instead: the same
+   array, a fixed set of leading keys, and %.6f-rendered floats so the
+   file is bit-identical across runs from a pinned seed. *)
 
 module Metrics = Dmw_obs.Metrics
 
@@ -57,7 +60,26 @@ let measure ?duration_of ~experiment ~backend ~n ~m f =
   rows := row :: !rows;
   (result, row)
 
-let flush ?(path = "BENCH_6.json") () =
+(* Pre-rendered JSON objects from experiments with their own schema;
+   [add_custom] renders eagerly so a row is a plain string and flush
+   stays trivially deterministic. *)
+type field = S of string | I of int | F of float
+
+let custom_rows : string list ref = ref []
+
+let add_custom ~experiment fields =
+  let render (k, v) =
+    match v with
+    | S s -> Printf.sprintf "%S:%S" k s
+    | I i -> Printf.sprintf "%S:%d" k i
+    | F f -> Printf.sprintf "%S:%.6f" k f
+  in
+  let body =
+    String.concat "," (render ("experiment", S experiment) :: List.map render fields)
+  in
+  custom_rows := Printf.sprintf "{%s}" body :: !custom_rows
+
+let flush ?(path = "BENCH_10.json") () =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
   output_string oc "[";
@@ -68,5 +90,14 @@ let flush ?(path = "BENCH_6.json") () =
         r.experiment r.backend r.n r.m r.msgs r.bytes r.modexps r.wall_ns
         r.duration_ns)
     (List.rev !rows);
+  let measured = List.length !rows in
+  List.iteri
+    (fun i row ->
+      Printf.fprintf oc "%s\n  %s"
+        (if measured = 0 && i = 0 then "" else ",")
+        row)
+    (List.rev !custom_rows);
   output_string oc "\n]\n";
-  Printf.printf "\nwrote %d bench rows to %s\n" (List.length !rows) path
+  Printf.printf "\nwrote %d bench rows to %s\n"
+    (measured + List.length !custom_rows)
+    path

@@ -381,8 +381,38 @@ let trace_cmd =
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
 
+let mechanism_table ~n ~m ~seed bids =
+  let module Mechanism = Dmw_mechanism.Mechanism in
+  let module Metrics = Dmw_mechanism.Metrics in
+  let instance =
+    Dmw_workload.Workload.levels_instance bids
+  in
+  let times = Dmw_mechanism.Instance.times instance in
+  let _, opt = Dmw_mechanism.Optimal.run times in
+  Printf.printf
+    "\nmechanism zoo on the same instance (exact optimum makespan %.0f):\n"
+    opt;
+  Printf.printf "%-14s %10s %8s %10s %10s  %s\n" "mechanism" "makespan"
+    "ratio" "payment" "frugality" "notes";
+  List.iter
+    (fun (module M : Mechanism.S) ->
+      let prng = Prng.create ~seed in
+      let o = M.run ~prng times in
+      let s = Metrics.score ~optimal:opt instance ~name:M.name o in
+      let opt_str = function
+        | Some v -> Printf.sprintf "%.3f" v
+        | None -> "-"
+      in
+      Printf.printf "%-14s %10.0f %8s %10s %10s  %s\n%!" M.name
+        s.Metrics.makespan
+        (opt_str s.Metrics.makespan_ratio)
+        (opt_str s.Metrics.total_payment)
+        (opt_str s.Metrics.frugality)
+        M.summary)
+    (Mechanism.Registry.supporting ~n ~m)
+
 let compare_cmd =
-  let compare n m c seed group_bits =
+  let compare n m c seed group_bits mechanisms =
     let params = make_params ~group_bits ~seed ~n ~m ~c () in
     let rng = Prng.create ~seed in
     let bids =
@@ -413,9 +443,20 @@ let compare_cmd =
       (Dmw_sim.Trace.bytes cb.Dmw_center.trace)
       (Option.is_some cb.Dmw_center.schedule)
       "Θ(mn), but bids public + trusted center";
+    if mechanisms then mechanism_table ~n ~m ~seed bids;
     0
   in
-  let term = Term.(const compare $ n_arg $ m_arg $ c_arg $ seed_arg $ bits_arg) in
+  let mechanisms_arg =
+    Arg.(value & flag
+         & info [ "mechanisms" ]
+             ~doc:"Also run every mechanism in the zoo registry on the same \
+                   instance and tabulate makespan, approximation ratio, \
+                   payments and frugality.")
+  in
+  let term =
+    Term.(const compare $ n_arg $ m_arg $ c_arg $ seed_arg $ bits_arg
+          $ mechanisms_arg)
+  in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run every protocol variant on one instance and tabulate the costs.")

@@ -1,0 +1,200 @@
+(* Dense two-phase primal simplex with Bland's rule. The tableau holds
+   the constraint rows in [a] (rhs appended as the last column) and the
+   current objective row in [z]; [basis.(r)] is the variable basic in
+   row [r]. Bland's rule (always the lowest-index candidate) makes the
+   walk deterministic and cycle-free, which matters here twice over:
+   the LST mechanism built on top must be a pure function of its bids,
+   and the bench tables derived from it must be bit-reproducible. *)
+
+type solution = { x : float array; value : float }
+type outcome = Solved of solution | Infeasible | Unbounded
+
+(* race: confined owner: a tableau is allocated, pivoted and read
+   entirely inside one [minimize]/[feasible] call; nothing escapes. *)
+type tableau = {
+  a : float array array;  (* rows x (vars + 1); last column is rhs *)
+  z : float array;        (* vars + 1; last entry is -objective value *)
+  basis : int array;      (* row -> basic variable *)
+  vars : int;             (* columns eligible for pivoting *)
+}
+
+let pivot t ~row ~col =
+  let n = Array.length t.a.(0) in
+  let p = t.a.(row).(col) in
+  for k = 0 to n - 1 do
+    t.a.(row).(k) <- t.a.(row).(k) /. p
+  done;
+  let eliminate v =
+    let f = v.(col) in
+    if f <> 0.0 then
+      for k = 0 to n - 1 do
+        v.(k) <- v.(k) -. (f *. t.a.(row).(k))
+      done
+  in
+  Array.iteri (fun r v -> if r <> row then eliminate v) t.a;
+  eliminate t.z;
+  t.basis.(row) <- col
+
+(* One simplex phase: pivot until no column improves the current
+   objective row. Returns [`Optimal] or [`Unbounded]. *)
+let iterate ~eps t =
+  let rows = Array.length t.a in
+  let rhs = Array.length t.a.(0) - 1 in
+  let rec entering c =
+    if c >= t.vars then None
+    else if t.z.(c) < -.eps then Some c
+    else entering (c + 1)
+  in
+  let leaving col =
+    let best = ref None in
+    for r = 0 to rows - 1 do
+      let coeff = t.a.(r).(col) in
+      if coeff > eps then begin
+        let ratio = t.a.(r).(rhs) /. coeff in
+        match !best with
+        | None -> best := Some (r, ratio)
+        | Some (r0, ratio0) ->
+            (* Bland tie-break: smallest basic-variable index. *)
+            if
+              ratio < ratio0 -. eps
+              || (ratio < ratio0 +. eps && t.basis.(r) < t.basis.(r0))
+            then best := Some (r, ratio)
+      end
+    done;
+    !best
+  in
+  let rec go () =
+    match entering 0 with
+    | None -> `Optimal
+    | Some col -> (
+        match leaving col with
+        | None -> `Unbounded
+        | Some (row, _) ->
+            pivot t ~row ~col;
+            go ())
+  in
+  go ()
+
+let validate ~obj ~rows ~rhs =
+  let vars = Array.length obj in
+  if Array.length rows <> Array.length rhs then
+    invalid_arg "Lp.minimize: rows / rhs length mismatch";
+  Array.iter
+    (fun r ->
+      if Array.length r <> vars then
+        invalid_arg "Lp.minimize: ragged constraint matrix")
+    rows;
+  vars
+
+(* Phase 1: artificial variable per row, minimize their sum from the
+   all-artificial basis. Returns the tableau restricted back to the
+   real variables, or [None] when the artificial optimum is > 0. *)
+let phase1 ~eps ~vars ~rows ~rhs =
+  let m = Array.length rows in
+  let width = vars + m + 1 in
+  let a =
+    Array.init m (fun r ->
+        let sign = if rhs.(r) < 0.0 then -1.0 else 1.0 in
+        let v = Array.make width 0.0 in
+        for c = 0 to vars - 1 do
+          v.(c) <- sign *. rows.(r).(c)
+        done;
+        v.(vars + r) <- 1.0;
+        v.(width - 1) <- sign *. rhs.(r);
+        v)
+  in
+  (* Objective = sum of artificials, expressed over the non-basic
+     (real) columns by subtracting each basic artificial row. *)
+  let z = Array.make width 0.0 in
+  Array.iteri
+    (fun r v ->
+      ignore r;
+      for k = 0 to width - 1 do
+        if k < vars || k = width - 1 then z.(k) <- z.(k) -. v.(k)
+      done)
+    a;
+  let t = { a; z; basis = Array.init m (fun r -> vars + r); vars } in
+  match iterate ~eps t with
+  | `Unbounded -> None (* impossible: phase-1 objective is bounded below by 0 *)
+  | `Optimal ->
+      if -.t.z.(width - 1) > eps then None
+      else begin
+        (* Drive leftover basic artificials out; a row where no real
+           column can enter is redundant and is neutralized instead. *)
+        Array.iteri
+          (fun r b ->
+            if b >= vars then begin
+              let col = ref (-1) in
+              for c = vars - 1 downto 0 do
+                if Float.abs t.a.(r).(c) > eps then col := c
+              done;
+              if !col >= 0 then pivot t ~row:r ~col:!col
+              else begin
+                Array.fill t.a.(r) 0 width 0.0;
+                t.a.(r).(vars + r) <- 1.0
+              end
+            end)
+          t.basis;
+        Some t
+      end
+
+let restrict t ~vars ~m =
+  let keep v =
+    let w = Array.make (vars + 1) 0.0 in
+    Array.blit v 0 w 0 vars;
+    w.(vars) <- v.(vars + m);
+    w
+  in
+  { a = Array.map keep t.a;
+    z = Array.make (vars + 1) 0.0;
+    basis = Array.copy t.basis;
+    vars }
+
+let extract t ~vars =
+  let rhs = Array.length t.a.(0) - 1 in
+  let x = Array.make vars 0.0 in
+  Array.iteri
+    (fun r b -> if b < vars then x.(b) <- Float.max 0.0 t.a.(r).(rhs))
+    t.basis;
+  x
+
+let minimize ?(eps = 1e-9) ~obj ~rows ~rhs () =
+  let vars = validate ~obj ~rows ~rhs in
+  let m = Array.length rows in
+  if m = 0 then
+    (* No constraints: the minimum over x >= 0 is at the origin unless
+       some cost is negative, in which case that ray is unbounded. *)
+    if Array.exists (fun c -> c < -.eps) obj then Unbounded
+    else Solved { x = Array.make vars 0.0; value = 0.0 }
+  else
+  match phase1 ~eps ~vars ~rows ~rhs with
+  | None -> Infeasible
+  | Some t1 ->
+      let t = restrict t1 ~vars ~m in
+      (* Phase-2 objective over the current basis: z_j = c_j reduced by
+         the basic rows' contributions. *)
+      Array.blit obj 0 t.z 0 vars;
+      Array.iteri
+        (fun r b ->
+          if b < vars && t.z.(b) <> 0.0 then begin
+            let f = t.z.(b) in
+            for k = 0 to vars do
+              t.z.(k) <- t.z.(k) -. (f *. t.a.(r).(k))
+            done
+          end)
+        t.basis;
+      (match iterate ~eps t with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let x = extract t ~vars in
+          let value =
+            Array.fold_left ( +. ) 0.0 (Array.mapi (fun c v -> obj.(c) *. v) x)
+          in
+          Solved { x; value })
+
+let feasible ?(eps = 1e-9) ~rows ~rhs () =
+  let vars = match rows with [||] -> 0 | _ -> Array.length rows.(0) in
+  match minimize ~eps ~obj:(Array.make vars 0.0) ~rows ~rhs () with
+  | Solved { x; _ } -> Some x
+  | Infeasible -> None
+  | Unbounded -> None (* zero objective cannot be unbounded *)

@@ -1,0 +1,47 @@
+(** A small, dependency-free linear-programming core.
+
+    Dense two-phase primal simplex over problems in standard form,
+
+    {[ minimize c·x  subject to  A x = b,  x >= 0 ]}
+
+    written for the Lenstra–Shmoys–Tardos fractional-assignment
+    relaxation ({!Lst}), whose instances are tiny (tens of variables,
+    [n + m] rows), so a dense tableau with Bland's anti-cycling rule is
+    both sufficient and fully deterministic — no external LP solver,
+    keeping the repo zero-dependency.
+
+    Solutions are {e basic} feasible points, i.e. vertices of the
+    polytope: at most [rows] entries of [x] are nonzero. The LST
+    rounding argument depends on exactly this property. *)
+
+type solution = {
+  x : float array;   (** A basic (vertex) optimal point. *)
+  value : float;     (** [c·x] at that point. *)
+}
+
+type outcome =
+  | Solved of solution
+  | Infeasible
+  | Unbounded
+
+val minimize :
+  ?eps:float ->
+  obj:float array ->
+  rows:float array array ->
+  rhs:float array ->
+  unit ->
+  outcome
+(** [minimize ~obj ~rows ~rhs ()] solves
+    [min obj·x  s.t.  rows·x = rhs, x >= 0].
+
+    [rows] is the constraint matrix, one inner array per equality; all
+    inner arrays and [obj] must share the variable count. Right-hand
+    sides may have any sign (rows are renormalized internally).
+    [eps] (default [1e-9]) is the pivot / feasibility tolerance.
+    @raise Invalid_argument on ragged input. *)
+
+val feasible :
+  ?eps:float -> rows:float array array -> rhs:float array -> unit ->
+  float array option
+(** Phase-1 only: a basic feasible point of [{x >= 0 | rows·x = rhs}],
+    or [None] when the system is infeasible. *)

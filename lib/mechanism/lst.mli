@@ -1,0 +1,32 @@
+(** The Lenstra–Shmoys–Tardos 2-approximation for min-makespan
+    scheduling on unrelated machines.
+
+    The classic rounding algorithm: binary-search the smallest
+    threshold [T] for which the fractional assignment LP
+
+    {[ Σ_i x_ij = 1 (task j),  Σ_j t_ij x_ij <= T (machine i),
+       x_ij = 0 when t_ij > T,  x >= 0 ]}
+
+    is feasible (the LP is feasible at [T = OPT], so the search
+    converges to [T* <= OPT]), take a {e vertex} solution from the
+    simplex core ({!Lp}), keep the integral assignments, and match each
+    fractionally assigned task to a distinct adjacent machine (the
+    vertex's fractional support is a pseudoforest, so such a matching
+    exists). Each machine ends with its fractional load, at most [T*],
+    plus at most one matched task (each with [t_ij <= T*]), hence
+    makespan [<= 2·T* <= 2·OPT].
+
+    Deterministic: the simplex pivoting is Bland-ruled and the
+    matching is index-ordered, so the schedule is a pure function of
+    the bids. Not truthful — it is the {e algorithmic} benchmark the
+    truthful mechanisms in the zoo are measured against (no payments). *)
+
+val run : ?iterations:int -> float array array -> Schedule.t * float
+(** [(schedule, threshold)] — the rounded schedule and the final LP
+    threshold [T*] (so [makespan <= 2 * threshold]). [iterations]
+    (default 60) bounds the binary-search steps; 60 reaches float
+    precision on any practical range. *)
+
+val fractional_threshold : ?iterations:int -> float array array -> float
+(** Just [T*]: the smallest LP-feasible threshold the search finds —
+    itself a lower-bound certificate [T* <= OPT] for benchmarking. *)

@@ -1,0 +1,89 @@
+(* race: confined owner: an outcome belongs to the thread that ran
+   the mechanism; arrays are filled before return, read-only after. *)
+type outcome = {
+  schedule : Schedule.t;
+  payments : float array;
+  probabilities : float array;
+}
+
+let ratio_bound = 1.6737
+
+let check_two name bids =
+  if Array.length bids <> 2 then
+    invalid_arg (name ^ ": the Lu-Yu mechanism is for exactly two machines")
+
+let cube x = x *. x *. x
+
+(* t1^3 / (t0^3 + t1^3), computed via the ratio so that large bids do
+   not overflow: 1 / (1 + (t0/t1)^3). *)
+let prob_first t0 t1 = 1.0 /. (1.0 +. cube (t0 /. t1))
+
+(* F(u) = ∫_0^u dv / (1 + v^3), by partial fractions:
+   1/(1+v³) = 1/(3(1+v)) + (2−v) / (3(v²−v+1)). *)
+let sqrt3 = sqrt 3.0
+
+let f3 u =
+  (log (1.0 +. u) /. 3.0)
+  -. (log ((u *. u) -. u +. 1.0) /. 6.0)
+  +. ((atan (((2.0 *. u) -. 1.0) /. sqrt3) +. (Float.pi /. 6.0)) /. sqrt3)
+
+let f3_infinity = 2.0 *. Float.pi /. (3.0 *. sqrt3)
+
+(* ∫_t^∞ ds / (1 + (s/c)^3) = c · (F(∞) − F(t/c)). *)
+let tail_integral ~from:t ~scale:c = c *. (f3_infinity -. f3 (t /. c))
+
+let expected_payment ~own ~other =
+  (own *. prob_first own other) +. tail_integral ~from:own ~scale:other
+
+let expected_utility ~true_time ~report ~other =
+  expected_payment ~own:report ~other
+  -. (true_time *. prob_first report other)
+
+let run ~prng bids =
+  check_two "Luyu.run" bids;
+  let m = Array.length bids.(0) in
+  let probabilities =
+    Array.init m (fun j -> prob_first bids.(0).(j) bids.(1).(j))
+  in
+  let assignment =
+    Array.init m (fun j ->
+        if Dmw_bigint.Prng.float prng < probabilities.(j) then 0 else 1)
+  in
+  let payment agent =
+    let acc = ref 0.0 in
+    for j = 0 to m - 1 do
+      acc :=
+        !acc
+        +. expected_payment ~own:bids.(agent).(j)
+             ~other:bids.(1 - agent).(j)
+    done;
+    !acc
+  in
+  { schedule = Schedule.create ~agents:2 ~assignment;
+    payments = [| payment 0; payment 1 |];
+    probabilities }
+
+let expected_makespan bids =
+  check_two "Luyu.expected_makespan" bids;
+  let m = Array.length bids.(0) in
+  if m > 20 then
+    invalid_arg "Luyu.expected_makespan: 2^m enumeration needs m <= 20";
+  let probabilities =
+    Array.init m (fun j -> prob_first bids.(0).(j) bids.(1).(j))
+  in
+  let acc = ref 0.0 in
+  for mask = 0 to (1 lsl m) - 1 do
+    let l0 = ref 0.0 and l1 = ref 0.0 and pr = ref 1.0 in
+    for j = 0 to m - 1 do
+      if mask land (1 lsl j) <> 0 then begin
+        l0 := !l0 +. bids.(0).(j);
+        pr := !pr *. probabilities.(j)
+      end
+      else begin
+        l1 := !l1 +. bids.(1).(j);
+        pr := !pr *. (1.0 -. probabilities.(j))
+      end
+    done;
+    acc := !acc +. (!pr *. Float.max !l0 !l1)
+  done;
+  !acc

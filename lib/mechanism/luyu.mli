@@ -1,0 +1,60 @@
+(** A randomized truthful-in-expectation mechanism for two unrelated
+    machines, in the task-independent family of Lu–Yu (STACS'08,
+    arXiv:0802.2851), who proved a 1.6737 approximation for the
+    makespan within exactly this class.
+
+    Each task is allocated independently of the others: with bids
+    [(t_0, t_1)], machine 0 receives the task with probability
+
+    {[ p_0(t_0, t_1) = t_1^3 / (t_0^3 + t_1^3) ]}
+
+    — a monotone allocation curve (the win probability falls as the own
+    bid rises), so the Archer–Tardos characterization yields
+    truthful-in-expectation payments in closed form:
+
+    {[ p(t) = t·φ(t) + ∫_t^∞ φ(s) ds,   φ(s) = 1 / (1 + (s/c)^3) ]}
+
+    with [c] the opponent's bid; the tail integral has the closed form
+    [c·(2π/(3√3) − F(t/c))] with
+    [F(u) = ln(1+u)/3 − ln(u²−u+1)/6 + (atan((2u−1)/√3) + π/6)/√3].
+
+    The cubic curve's worst-case expected-makespan ratio is ≈ 1.6232
+    (attained on two-task instances; the test suite pins the
+    adversarial instance), safely inside the 1.6737 bound of the paper
+    — which the qcheck ensemble property checks exactly, via
+    {!expected_makespan}'s closed-form enumeration rather than
+    sampling. *)
+
+type outcome = {
+  schedule : Schedule.t;       (** One sampled allocation. *)
+  payments : float array;      (** Per agent, {e expected} payments. *)
+  probabilities : float array; (** Per task, P(machine 0 gets it). *)
+}
+
+val prob_first : float -> float -> float
+(** [prob_first t0 t1] = [t1³ / (t0³ + t1³)], the probability that
+    machine 0 receives a task bid at [(t0, t1)]. *)
+
+val run : prng:Dmw_bigint.Prng.t -> float array array -> outcome
+(** Sample an allocation (one [Prng.float] draw per task, so the run is
+    deterministic in (seed, bids)) and compute the expected payments.
+    Requires exactly two agents. @raise Invalid_argument otherwise. *)
+
+val expected_makespan : float array array -> float
+(** Exact [E max(L_0, L_1)] under the allocation distribution, by
+    enumerating all [2^m] outcomes. Requires two agents and [m <= 20].
+    @raise Invalid_argument otherwise. *)
+
+val expected_payment : own:float -> other:float -> float
+(** The Archer–Tardos payment above, in closed form. *)
+
+val expected_utility : true_time:float -> report:float -> other:float -> float
+(** Expected utility of an agent whose true per-task time is
+    [true_time] when it reports [report] against an opponent bidding
+    [other]: [payment(report) − true_time · win-probability(report)].
+    Maximized at [report = true_time] — the truthfulness property the
+    qcheck suite sweeps. *)
+
+val ratio_bound : float
+(** 1.6737, the Lu–Yu approximation guarantee the implementation is
+    held to (its own curve's worst case is ≈ 1.6232). *)

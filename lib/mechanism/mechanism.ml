@@ -1,0 +1,168 @@
+type outcome = {
+  schedule : Schedule.t;
+  payments : float array option;
+  detail : (string * float) list;
+}
+
+module type S = sig
+  val name : string
+  val summary : string
+  val randomized : bool
+  val truthful : bool
+  val supports : n:int -> m:int -> bool
+  val run : ?prng:Dmw_bigint.Prng.t -> float array array -> outcome
+end
+
+(* Satellite invariant of the zoo: a randomized mechanism draws only
+   from the prng handed to it. No [?prng] means no coins — fail loudly
+   rather than fall back to ambient randomness. *)
+let required name = function
+  | Some prng -> prng
+  | None -> invalid_arg (name ^ ": randomized mechanism needs ~prng")
+
+let auction_shape ~n ~m = n >= 2 && m >= 1
+let any_shape ~n ~m = n >= 1 && m >= 1
+
+module Minwork_m : S = struct
+  let name = "minwork"
+  let summary = "per-task Vickrey auctions (paper Def. 5): truthful, n-approx"
+  let randomized = false
+  let truthful = true
+  let supports = auction_shape
+
+  let run ?prng bids =
+    ignore prng;
+    let o = Minwork.run bids in
+    { schedule = o.Minwork.schedule;
+      payments = Some o.Minwork.payments;
+      detail = [ ("total_payment", Minwork.total_payment o) ] }
+end
+
+module Optimal_m : S = struct
+  let name = "optimal"
+  let summary = "exact min-makespan branch and bound (not a mechanism: no payments)"
+  let randomized = false
+  let truthful = false
+  let supports = any_shape
+
+  let run ?prng bids =
+    ignore prng;
+    let schedule, makespan = Optimal.run bids in
+    { schedule; payments = None; detail = [ ("optimal_makespan", makespan) ] }
+end
+
+module Round_robin_m : S = struct
+  let name = "round-robin"
+  let summary = "task j to machine j mod n, bids ignored"
+  let randomized = false
+  let truthful = false
+  let supports = any_shape
+
+  let run ?prng bids =
+    ignore prng;
+    { schedule = Baselines.round_robin ~bids; payments = None; detail = [] }
+end
+
+module Random_m : S = struct
+  let name = "random"
+  let summary = "uniform random assignment from the supplied prng"
+  let randomized = true
+  let truthful = false
+  let supports = any_shape
+
+  let run ?prng bids =
+    let prng = required "Mechanism.random" prng in
+    { schedule = Baselines.random prng ~bids; payments = None; detail = [] }
+end
+
+module Greedy_m : S = struct
+  let name = "greedy-load"
+  let summary = "list scheduling on reported times (makespan-aware, not truthful)"
+  let randomized = false
+  let truthful = false
+  let supports = any_shape
+
+  let run ?prng bids =
+    ignore prng;
+    { schedule = Baselines.greedy_load ~bids; payments = None; detail = [] }
+end
+
+module Vcg_m : S = struct
+  let name = "vcg"
+  let summary = "utilitarian VCG (total work) with Clarke pivots: truthful"
+  let randomized = false
+  let truthful = true
+  let supports = auction_shape
+
+  let run ?prng bids =
+    ignore prng;
+    let o = Vcg.run bids in
+    { schedule = o.Vcg.schedule; payments = Some o.Vcg.payments; detail = [] }
+end
+
+module Vcg_makespan_m : S = struct
+  let name = "vcg-makespan"
+  let summary =
+    "exact min-makespan allocation + Clarke-style payments: NOT truthful \
+     (Nisan-Ronen)"
+  let randomized = false
+  let truthful = false
+  let supports = auction_shape
+
+  let run ?prng bids =
+    ignore prng;
+    let o = Vcg.run_makespan bids in
+    { schedule = o.Vcg.schedule;
+      payments = Some o.Vcg.payments;
+      detail = [ ("optimal_makespan", Schedule.makespan ~times:bids o.Vcg.schedule) ] }
+end
+
+module Luyu_m : S = struct
+  let name = "lu-yu"
+  let summary =
+    "randomized truthful-in-expectation for 2 machines (Lu-Yu bound 1.6737)"
+  let randomized = true
+  let truthful = true
+  let supports ~n ~m = n = 2 && m >= 1
+
+  let run ?prng bids =
+    let prng = required "Mechanism.lu-yu" prng in
+    let o = Luyu.run ~prng bids in
+    { schedule = o.Luyu.schedule;
+      payments = Some o.Luyu.payments;
+      detail = [ ("expected_makespan", Luyu.expected_makespan bids) ] }
+end
+
+module Lst_m : S = struct
+  let name = "lst"
+  let summary = "Lenstra-Shmoys-Tardos LP rounding: 2-approx, not truthful"
+  let randomized = false
+  let truthful = false
+  let supports = any_shape
+
+  let run ?prng bids =
+    ignore prng;
+    let schedule, threshold = Lst.run bids in
+    { schedule; payments = None; detail = [ ("threshold", threshold) ] }
+end
+
+module Registry = struct
+  let all : (module S) list =
+    [ (module Minwork_m);
+      (module Optimal_m);
+      (module Round_robin_m);
+      (module Random_m);
+      (module Greedy_m);
+      (module Vcg_m);
+      (module Vcg_makespan_m);
+      (module Luyu_m);
+      (module Lst_m) ]
+
+  let names = List.map (fun (module M : S) -> M.name) all
+
+  let find name =
+    List.find_opt (fun (module M : S) -> String.equal M.name name) all
+
+  let supporting ~n ~m =
+    List.filter (fun (module M : S) -> M.supports ~n ~m) all
+end

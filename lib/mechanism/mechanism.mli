@@ -1,0 +1,59 @@
+(** The mechanism zoo: one first-class interface over every allocator
+    in the library, and a registry enumerating them.
+
+    Each implementation module ({!Minwork}, {!Optimal}, {!Baselines},
+    {!Vcg}, {!Luyu}, {!Lst}) keeps its own precise API; this module
+    wraps them behind a uniform [run : ?prng -> bids -> outcome] so
+    benchmarks, the CLI and the metrics layer can treat "a mechanism"
+    as a value. Randomized mechanisms draw {e only} from the explicitly
+    passed {!Dmw_bigint.Prng.t} — there is no ambient-randomness
+    fallback, so every run is deterministic in (seed, bids) and the
+    [dmw_det] analyzer's D-random discipline extends to the zoo. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  payments : float array option;
+      (** Per-agent payments, when the mechanism defines any
+          (expected payments for randomized mechanisms). *)
+  detail : (string * float) list;
+      (** Mechanism-specific extras (e.g. ["threshold"] for LST,
+          ["optimal_makespan"] for the exact solvers). *)
+}
+
+module type S = sig
+  val name : string
+  (** Registry key, e.g. ["vcg"], ["lu-yu"]. *)
+
+  val summary : string
+  (** One line for [--mechanisms] listings and docs. *)
+
+  val randomized : bool
+  (** When true, {!run} requires [?prng]. *)
+
+  val truthful : bool
+  (** Dominant-strategy (or in-expectation, for randomized) truthful —
+      the property the zoo's probes measure against. *)
+
+  val supports : n:int -> m:int -> bool
+  (** Whether the mechanism is defined on an [n × m] instance (e.g.
+      Lu–Yu needs [n = 2]; the auction-based ones need [n >= 2]). *)
+
+  val run : ?prng:Dmw_bigint.Prng.t -> float array array -> outcome
+  (** Run on a bid matrix. @raise Invalid_argument when the instance
+      shape is unsupported, or when [randomized] and [prng] is
+      absent. *)
+end
+
+module Registry : sig
+  val all : (module S) list
+  (** Every registered mechanism, in presentation order: minwork,
+      optimal, round-robin, random, greedy-load, vcg, vcg-makespan,
+      lu-yu, lst. *)
+
+  val names : string list
+
+  val find : string -> (module S) option
+
+  val supporting : n:int -> m:int -> (module S) list
+  (** The registry filtered to mechanisms defined on that shape. *)
+end

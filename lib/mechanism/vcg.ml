@@ -1,0 +1,78 @@
+(* race: confined owner: an outcome belongs to the thread that ran
+   the mechanism; arrays are filled before return, read-only after. *)
+type outcome = { schedule : Schedule.t; payments : float array }
+
+let check_bids name bids =
+  let n = Array.length bids in
+  if n < 2 then invalid_arg (name ^ ": need at least two agents");
+  n
+
+(* min_{i' <> excluding} bids.(i').(j); [excluding = -1] for the
+   unconstrained minimum. *)
+let column_min bids ~task ~excluding =
+  let best = ref infinity in
+  Array.iteri
+    (fun i row -> if i <> excluding && row.(task) < !best then best := row.(task))
+    bids;
+  !best
+
+let run bids =
+  let n = check_bids "Vcg.run" bids in
+  let m = Array.length bids.(0) in
+  (* The utilitarian optimum decomposes per task: each to the fastest
+     reporter (first index on ties, MinWork's convention). *)
+  let assignment =
+    Array.init m (fun j ->
+        let w = ref 0 in
+        for i = 1 to n - 1 do
+          if bids.(i).(j) < bids.(!w).(j) then w := i
+        done;
+        !w)
+  in
+  let schedule = Schedule.create ~agents:n ~assignment in
+  (* Clarke pivot: p_i = (others' optimal welfare without i) −
+     (others' realized cost with i present). Both sides decompose per
+     task; tasks i does not win cancel, leaving the second price on
+     each task i wins. Computed from the definition rather than the
+     shortcut so the Minwork cross-check in the test suite is a real
+     consistency proof, not a tautology. *)
+  let payments =
+    Array.init n (fun i ->
+        let without_i = ref 0.0 and others_with_i = ref 0.0 in
+        for j = 0 to m - 1 do
+          without_i := !without_i +. column_min bids ~task:j ~excluding:i;
+          if assignment.(j) <> i then
+            others_with_i := !others_with_i +. bids.(assignment.(j)).(j)
+        done;
+        !without_i -. !others_with_i)
+  in
+  { schedule; payments }
+
+let drop_row bids ~agent =
+  let n = Array.length bids in
+  Array.init (n - 1) (fun i -> if i < agent then bids.(i) else bids.(i + 1))
+
+let run_makespan ?limit bids =
+  let n = check_bids "Vcg.run_makespan" bids in
+  let schedule, opt =
+    match limit with
+    | None -> Optimal.run bids
+    | Some limit -> Optimal.run ~limit bids
+  in
+  let payments =
+    Array.init n (fun i ->
+        let opt_without_i =
+          if n = 2 then
+            (* One machine left: it runs everything. *)
+            Array.fold_left ( +. ) 0.0 bids.(1 - i)
+          else
+            let _, v =
+              match limit with
+              | None -> Optimal.run (drop_row bids ~agent:i)
+              | Some limit -> Optimal.run ~limit (drop_row bids ~agent:i)
+            in
+            v
+        in
+        Schedule.load ~times:bids schedule ~agent:i +. (opt_without_i -. opt))
+  in
+  { schedule; payments }

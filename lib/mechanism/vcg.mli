@@ -1,0 +1,43 @@
+(** Vickrey–Clarke–Groves mechanisms for scheduling.
+
+    Two variants, deliberately kept side by side because their contrast
+    is the point of the mechanism zoo:
+
+    - {!run} is textbook VCG on the {e utilitarian} objective the
+      procurement setting actually supports — total work. Its
+      allocation coincides with MinWork's (each task to its fastest
+      reporter) and its Clarke-pivot payments collapse to the per-task
+      second prices, so it is dominant-strategy truthful (the classic
+      VCG theorem; {!Minwork} is its per-task decomposition).
+
+    - {!run_makespan} applies the same payment {e template} to the
+      min-{e makespan} allocation computed exactly by {!Optimal}'s
+      branch and bound. Makespan is not a sum of the agents' costs, so
+      VCG's truthfulness theorem does not apply — and indeed this
+      mechanism is manipulable (Nisan–Ronen; the Θ(n) lower-bound
+      frontier of arXiv:2301.11905 says {e no} truthful mechanism can
+      be optimal here). {!Metrics.truthfulness_probe} measures the
+      violation empirically. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  payments : float array;  (** Per agent, Clarke-pivot payments. *)
+}
+
+val run : float array array -> outcome
+(** Utilitarian VCG. [bids.(i).(j)] is agent [i]'s reported time for
+    task [j]. Allocation minimizes Σ loads; agent [i] is paid the
+    externality it removes: (others' optimal total work without [i])
+    − (others' total work in the chosen allocation). Requires n >= 2.
+    @raise Invalid_argument otherwise. *)
+
+val run_makespan : ?limit:int -> float array array -> outcome
+(** Exact min-makespan allocation (branch and bound, [limit] as in
+    {!Optimal.run}) with Clarke-style payments
+    [p_i = load_i + (OPT_{-i} − OPT)]: each agent receives its declared
+    load plus its marginal contribution to the optimum (removing a
+    machine can only increase the makespan, so the bonus is >= 0 and
+    participation is voluntary — but the mechanism is {e not}
+    truthful). Requires n >= 2 so that [OPT_{-i}] exists.
+    @raise Invalid_argument on fewer than two agents.
+    @raise Failure when the search exceeds [limit]. *)

@@ -36,6 +36,31 @@ let heterogeneous_cluster rng ~n ~m ~specialists =
                  else base *. (1.2 +. (0.3 *. Prng.float rng))
                else base *. (0.9 +. (0.2 *. Prng.float rng)))))
 
+let two_machine rng ~m ~spread =
+  if not (spread > 1.0) then
+    invalid_arg "Workload.two_machine: need spread > 1";
+  let base = Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float rng)) in
+  let rho =
+    Array.init m (fun _ ->
+        (* log-uniform in [1/spread, spread] *)
+        let u = (2.0 *. Prng.float rng) -. 1.0 in
+        exp (u *. log spread))
+  in
+  Instance.create
+    ~times:
+      [| Array.copy base; Array.init m (fun j -> base.(j) *. rho.(j)) |]
+
+let near_tie rng ~n ~m ~jitter =
+  if not (jitter >= 0.0 && jitter < 1.0) then
+    invalid_arg "Workload.near_tie: need 0 <= jitter < 1";
+  let base = Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float rng)) in
+  Instance.create
+    ~times:
+      (Array.init n (fun _ ->
+           Array.init m (fun j ->
+               let wobble = 1.0 +. (jitter *. ((2.0 *. Prng.float rng) -. 1.0)) in
+               base.(j) *. wobble)))
+
 let adversarial_minwork ~n ~m =
   let eps = 1e-3 in
   Instance.create
@@ -76,3 +101,11 @@ let levels_instance levels =
 let random_levels rng ~n ~m ~w_max =
   if w_max < 1 then invalid_arg "Workload.random_levels: w_max must be >= 1";
   Array.init n (fun _ -> Array.init m (fun _ -> 1 + Prng.int rng w_max))
+
+let matrix_suite ~n ~m =
+  [ ("uniform", fun rng -> uniform_unrelated rng ~n ~m ~lo:1.0 ~hi:10.0);
+    ("correlated", fun rng -> machine_correlated rng ~n ~m);
+    ( "heterogeneous",
+      fun rng -> heterogeneous_cluster rng ~n ~m ~specialists:(min 2 n) );
+    ("near-tie", fun rng -> near_tie rng ~n ~m ~jitter:0.05);
+    ("adversarial", fun _rng -> adversarial_minwork ~n ~m) ]

@@ -29,6 +29,20 @@ val heterogeneous_cluster :
     mildly slower elsewhere; the motivating scenario for unrelated
     machines. [specialists <= n]. *)
 
+val two_machine : Prng.t -> m:int -> spread:float -> Instance.t
+(** The two-machine regime of the randomized-mechanism literature
+    (Lu–Yu, Nisan–Ronen lower bounds): each task takes time [t] on
+    machine 0 with [t] uniform in [1, 10], and [t·ρ] on machine 1 with
+    [ρ] log-uniform in [[1/spread, spread]] — so neither machine
+    dominates and the per-task ratios exercise the whole allocation
+    curve. [spread > 1]. *)
+
+val near_tie : Prng.t -> n:int -> m:int -> jitter:float -> Instance.t
+(** All machines within a multiplicative [±jitter] of a common
+    per-task time (uniform in [1, 10]): the regime where tie-breaking
+    and allocation-curve shape dominate — adversarial for greedy and
+    for randomized curves, benign for MinWork. [0 <= jitter < 1]. *)
+
 val adversarial_minwork : n:int -> m:int -> Instance.t
 (** The worst-case family for MinWork's makespan: one machine is
     marginally fastest on {e every} task, so MinWork (with smallest
@@ -51,3 +65,12 @@ val levels_instance : int array array -> Instance.t
 
 val random_levels : Prng.t -> n:int -> m:int -> w_max:int -> int array array
 (** Uniform bid-level matrix for direct protocol tests. *)
+
+val matrix_suite :
+  n:int -> m:int -> (string * (Prng.t -> Instance.t)) list
+(** The named workload axis of the mechanism-matrix experiment
+    (bench [mechanism_matrix], EXPERIMENTS.md): uniform, correlated,
+    heterogeneous, near-tie and adversarial-minwork generators, all at
+    the same [n × m] shape so per-mechanism scores are comparable
+    across rows. The adversarial family is deterministic; it ignores
+    the PRNG. *)

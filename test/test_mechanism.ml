@@ -318,6 +318,358 @@ let prop_more_competition_cheaper_prices =
         (List.init m Fun.id))
 
 (* ------------------------------------------------------------------ *)
+(* Lp: the simplex core                                                *)
+
+let test_lp_known_optimum () =
+  (* min x + 2y  s.t.  x + y = 1, x,y >= 0  ->  x = 1, value 1. *)
+  match Lp.minimize ~obj:[| 1.0; 2.0 |] ~rows:[| [| 1.0; 1.0 |] |] ~rhs:[| 1.0 |] () with
+  | Lp.Solved { x; value } ->
+      Alcotest.(check (float 1e-9)) "value" 1.0 value;
+      Alcotest.(check (float 1e-9)) "x" 1.0 x.(0);
+      Alcotest.(check (float 1e-9)) "y" 0.0 x.(1)
+  | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected an optimum"
+
+let test_lp_infeasible () =
+  (* x + y = 1 and x + y = 2 cannot both hold. *)
+  let rows = [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  match Lp.minimize ~obj:[| 0.0; 0.0 |] ~rows ~rhs:[| 1.0; 2.0 |] () with
+  | Lp.Infeasible -> ()
+  | Lp.Solved _ | Lp.Unbounded -> Alcotest.fail "expected infeasible"
+
+let test_lp_unbounded () =
+  (* min -x  s.t.  x - y = 0: the ray x = y is unbounded below. *)
+  match Lp.minimize ~obj:[| -1.0; 0.0 |] ~rows:[| [| 1.0; -1.0 |] |] ~rhs:[| 0.0 |] () with
+  | Lp.Unbounded -> ()
+  | Lp.Solved _ | Lp.Infeasible -> Alcotest.fail "expected unbounded"
+
+let test_lp_negative_rhs () =
+  (* -x = -3 is x = 3 after row normalization. *)
+  match Lp.minimize ~obj:[| 1.0 |] ~rows:[| [| -1.0 |] |] ~rhs:[| -3.0 |] () with
+  | Lp.Solved { x; _ } -> Alcotest.(check (float 1e-9)) "x" 3.0 x.(0)
+  | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "expected an optimum"
+
+let prop_lp_feasible_point_satisfies =
+  (* A phase-1 point really satisfies the system, and is basic: at
+     most [rows] nonzero coordinates. *)
+  QCheck.Test.make ~count:80 ~name:"lp feasible points are basic and exact"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let rows_n = 1 + Prng.int g 4 and vars = 1 + Prng.int g 6 in
+      let rows =
+        Array.init rows_n (fun _ ->
+            Array.init vars (fun _ -> float_of_int (Prng.int g 5)))
+      in
+      (* Build a guaranteed-feasible rhs from a random reference point. *)
+      let x0 = Array.init vars (fun _ -> float_of_int (Prng.int g 4)) in
+      let rhs =
+        Array.map
+          (fun row ->
+            let acc = ref 0.0 in
+            Array.iteri (fun c v -> acc := !acc +. (v *. x0.(c))) row;
+            !acc)
+          rows
+      in
+      match Lp.feasible ~rows ~rhs () with
+      | None -> false
+      | Some x ->
+          let ok_rows =
+            Array.for_all2
+              (fun row b ->
+                let acc = ref 0.0 in
+                Array.iteri (fun c v -> acc := !acc +. (v *. x.(c))) row;
+                Float.abs (!acc -. b) < 1e-6)
+              rows rhs
+          in
+          let nonzero =
+            Array.fold_left (fun k v -> if Float.abs v > 1e-9 then k + 1 else k) 0 x
+          in
+          ok_rows
+          && nonzero <= rows_n
+          && Array.for_all (fun v -> v >= -1e-9) x)
+
+(* ------------------------------------------------------------------ *)
+(* Vcg                                                                 *)
+
+let test_vcg_equals_minwork () =
+  (* Utilitarian VCG's Clarke pivots collapse to per-task second
+     prices: same allocation and payments as MinWork, computed from
+     the welfare definition instead of the auction shortcut. *)
+  let g = Prng.create ~seed:21 in
+  for _ = 1 to 20 do
+    let n = 2 + Prng.int g 4 and m = 1 + Prng.int g 5 in
+    let bids =
+      Array.init n (fun _ -> Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float g)))
+    in
+    let v = Vcg.run bids in
+    let mw = Minwork.run bids in
+    Alcotest.(check bool) "allocation" true
+      (Schedule.equal v.Vcg.schedule mw.Minwork.schedule);
+    Alcotest.(check (array (float 1e-9))) "payments" mw.Minwork.payments
+      v.Vcg.payments
+  done
+
+let test_vcg_makespan_worked_example () =
+  (* times [[3;1];[5;1]]: OPT splits (task 1 -> M1, task 2 -> M2),
+     makespan 3. p_0 = 3 + (6 - 3) = 6; p_1 = 1 + (4 - 3) = 2. *)
+  let o = Vcg.run_makespan [| [| 3.0; 1.0 |]; [| 5.0; 1.0 |] |] in
+  Alcotest.(check (array int)) "allocation" [| 0; 1 |]
+    (Schedule.assignment o.Vcg.schedule);
+  Alcotest.(check (array (float 1e-9))) "payments" [| 6.0; 2.0 |] o.Vcg.payments
+
+let mechanism_exn name =
+  match Mechanism.Registry.find name with
+  | Some m -> m
+  | None -> Alcotest.failf "mechanism %s not registered" name
+
+let prop_vcg_truthful =
+  (* Utilitarian VCG: the misreport sweep never finds a profitable
+     row-scaling deviation (integer times keep comparisons exact). *)
+  QCheck.Test.make ~count:40 ~name:"vcg misreports never profit"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 3 and m = 1 + Prng.int g 3 in
+      let times =
+        Array.init n (fun _ -> Array.init m (fun _ -> float_of_int (1 + Prng.int g 8)))
+      in
+      let i = Instance.create ~times in
+      Metrics.truthfulness_probe (mechanism_exn "vcg") i = None)
+
+let test_vcg_makespan_manipulable () =
+  (* The Nisan-Ronen exhibit: exact min-makespan allocation cannot be
+     made truthful. On [[3;1];[5;1]], agent 0 scaling its row by 4
+     moves the optimum so that it keeps only the cheap task: utility
+     rises from 3 to 4. The probe must find a violation. *)
+  let i = inst [ [ 3.0; 1.0 ]; [ 5.0; 1.0 ] ] in
+  match Metrics.truthfulness_probe (mechanism_exn "vcg-makespan") i with
+  | None -> Alcotest.fail "expected a profitable misreport"
+  | Some (agent, factor, gain) ->
+      Alcotest.(check int) "agent" 0 agent;
+      Alcotest.(check (float 1e-9)) "factor" 4.0 factor;
+      Alcotest.(check (float 1e-6)) "gain" 1.0 gain
+
+let prop_vcg_makespan_voluntary =
+  (* Removing a machine never improves the optimum, so the Clarke
+     bonus is >= 0 and truthful participation never loses. *)
+  QCheck.Test.make ~count:40 ~name:"vcg-makespan participation is voluntary"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 2 and m = 1 + Prng.int g 4 in
+      let times =
+        Array.init n (fun _ -> Array.init m (fun _ -> 1.0 +. (9.0 *. Prng.float g)))
+      in
+      let o = Vcg.run_makespan times in
+      Array.for_all2
+        (fun pay load -> pay >= load -. 1e-9)
+        o.Vcg.payments
+        (Array.init n (fun i -> Schedule.load ~times o.Vcg.schedule ~agent:i)))
+
+(* ------------------------------------------------------------------ *)
+(* Lu-Yu                                                               *)
+
+let test_luyu_allocation_curve () =
+  Alcotest.(check (float 1e-12)) "symmetric tie" 0.5 (Luyu.prob_first 2.0 2.0);
+  Alcotest.(check bool) "monotone in own bid" true
+    (Luyu.prob_first 1.0 2.0 > Luyu.prob_first 1.5 2.0);
+  Alcotest.(check (float 1e-9)) "complementary" 1.0
+    (Luyu.prob_first 3.0 7.0 +. Luyu.prob_first 7.0 3.0);
+  (* t1^3/(t0^3+t1^3) at (1, 2) = 8/9. *)
+  Alcotest.(check (float 1e-12)) "worked value" (8.0 /. 9.0) (Luyu.prob_first 1.0 2.0)
+
+let test_luyu_payment_matches_quadrature () =
+  (* The closed-form Archer-Tardos payment equals own*phi(own) plus a
+     numerically integrated tail, far beyond the quadrature error. *)
+  let phi ~other s = Luyu.prob_first s other in
+  let quad ~own ~other =
+    (* Simpson on [own, own + 60*other] (the tail decays as s^-3). *)
+    let upper = own +. (60.0 *. other) in
+    let steps = 20000 in
+    let h = (upper -. own) /. float_of_int steps in
+    let acc = ref 0.0 in
+    for k = 0 to steps - 1 do
+      let a = own +. (h *. float_of_int k) in
+      acc :=
+        !acc
+        +. (h /. 6.0
+           *. (phi ~other a
+              +. (4.0 *. phi ~other (a +. (h /. 2.0)))
+              +. phi ~other (a +. h)))
+    done;
+    (own *. phi ~other own) +. !acc
+  in
+  List.iter
+    (fun (own, other) ->
+      let exact = Luyu.expected_payment ~own ~other in
+      let approx = quad ~own ~other in
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "payment(%.1f, %.1f)" own other)
+        approx exact)
+    [ (1.0, 1.0); (0.5, 2.0); (3.0, 1.0); (2.0, 5.0) ]
+
+let test_luyu_worst_case_pinned () =
+  (* The cubic curve's adversarial two-task instance (numerically
+     maximized): the expected ratio is ~1.6232 — strictly inside the
+     1.6737 Lu-Yu bound, and a regression pin for the curve. *)
+  let times =
+    [| [| 1.0; 0.5495758319 |]; [| 0.5495758319; 0.4869087281 |] |]
+  in
+  let _, opt = Optimal.run times in
+  let ratio = Luyu.expected_makespan times /. opt in
+  Alcotest.(check bool) "above 1.62 (it is the worst case)" true (ratio > 1.62);
+  Alcotest.(check bool) "below the Lu-Yu bound" true (ratio < Luyu.ratio_bound)
+
+let test_luyu_deterministic_in_seed () =
+  let bids = [| [| 2.0; 5.0; 1.0 |]; [| 3.0; 4.0; 2.0 |] |] in
+  let run () = Luyu.run ~prng:(Prng.create ~seed:77) bids in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same schedule" true
+    (Schedule.equal a.Luyu.schedule b.Luyu.schedule);
+  Alcotest.(check (array (float 0.0))) "same payments" a.Luyu.payments b.Luyu.payments
+
+let prop_luyu_expected_within_bound =
+  (* E[makespan] <= 1.6737 * OPT, checked exactly (2^m enumeration)
+     over a seed ensemble of two-machine workloads. *)
+  QCheck.Test.make ~count:80 ~name:"lu-yu expected makespan within 1.6737 of optimal"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let m = 1 + Prng.int g 7 in
+      let i =
+        if Prng.bool g then Dmw_workload.Workload.two_machine g ~m ~spread:4.0
+        else Dmw_workload.Workload.uniform_unrelated g ~n:2 ~m ~lo:1.0 ~hi:10.0
+      in
+      let times = Instance.times i in
+      let _, opt = Optimal.run times in
+      Luyu.expected_makespan times <= (Luyu.ratio_bound *. opt) +. 1e-9)
+
+let prop_luyu_truthful_in_expectation =
+  (* Expected utility (closed-form payments minus expected true cost)
+     is maximized by reporting the true time, for any opponent bid —
+     swept over a multiplicative report grid. *)
+  QCheck.Test.make ~count:120 ~name:"lu-yu truthful in expectation"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let true_time = 0.5 +. (9.5 *. Prng.float g) in
+      let other = 0.5 +. (9.5 *. Prng.float g) in
+      let u_truth = Luyu.expected_utility ~true_time ~report:true_time ~other in
+      List.for_all
+        (fun factor ->
+          Luyu.expected_utility ~true_time ~report:(true_time *. factor) ~other
+          <= u_truth +. 1e-9)
+        [ 0.1; 0.25; 0.5; 0.8; 0.95; 1.05; 1.25; 2.0; 4.0; 10.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Lst                                                                 *)
+
+let test_lst_simple () =
+  (* Identical machines, two unit tasks: threshold converges to 1 and
+     the rounding keeps makespan <= 2. *)
+  let times = [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let s, threshold = Lst.run times in
+  Alcotest.(check bool) "threshold ~1" true (Float.abs (threshold -. 1.0) < 1e-6);
+  Alcotest.(check bool) "2-approx" true (Schedule.makespan ~times s <= 2.0 +. 1e-6)
+
+let prop_lst_two_approx =
+  QCheck.Test.make ~count:60 ~name:"lst makespan within 2x of optimal"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 3 and m = 1 + Prng.int g 6 in
+      let i =
+        match Prng.int g 3 with
+        | 0 -> Dmw_workload.Workload.uniform_unrelated g ~n ~m ~lo:1.0 ~hi:10.0
+        | 1 -> Dmw_workload.Workload.near_tie g ~n ~m ~jitter:0.05
+        | _ -> Dmw_workload.Workload.machine_correlated g ~n ~m
+      in
+      let times = Instance.times i in
+      let s, threshold = Lst.run times in
+      let _, opt = Optimal.run times in
+      let makespan = Schedule.makespan ~times s in
+      (* The LP threshold certifies itself: T* <= OPT, and the rounded
+         schedule is within 2 T*. *)
+      threshold <= opt +. (1e-6 *. opt)
+      && makespan <= (2.0 *. threshold) +. (1e-6 *. threshold)
+      && makespan <= (2.0 *. opt) +. (1e-6 *. opt))
+
+(* ------------------------------------------------------------------ *)
+(* The registry                                                        *)
+
+let test_registry_complete () =
+  let names = Mechanism.Registry.names in
+  Alcotest.(check bool) "at least 6 mechanisms" true (List.length names >= 6);
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) (required ^ " registered") true
+        (List.mem required names))
+    [ "minwork"; "optimal"; "round-robin"; "random"; "greedy-load"; "vcg";
+      "vcg-makespan"; "lu-yu"; "lst" ]
+
+let test_registry_randomized_requires_prng () =
+  (* Satellite invariant: no ambient randomness — a randomized
+     mechanism without an explicit prng must refuse, not fall back. *)
+  let bids = [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  List.iter
+    (fun name ->
+      let (module M : Mechanism.S) = mechanism_exn name in
+      Alcotest.(check bool) (name ^ " is randomized") true M.randomized;
+      match M.run bids with
+      | _ -> Alcotest.failf "%s ran without a prng" name
+      | exception Invalid_argument _ -> ())
+    [ "random"; "lu-yu" ]
+
+let prop_registry_valid_outcomes =
+  (* Every supporting mechanism returns a well-formed outcome on
+     random instances: full assignment of the right shape, and
+     payments (when present) sized by agent. *)
+  QCheck.Test.make ~count:30 ~name:"registry outcomes are valid schedules"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 3 and m = 1 + Prng.int g 4 in
+      let i = Dmw_workload.Workload.uniform_unrelated g ~n ~m ~lo:1.0 ~hi:10.0 in
+      let times = Instance.times i in
+      List.for_all
+        (fun (module M : Mechanism.S) ->
+          let o = M.run ~prng:(Prng.split g) times in
+          Schedule.agents o.Mechanism.schedule = n
+          && Schedule.tasks o.Mechanism.schedule = m
+          && (match o.Mechanism.payments with
+             | None -> true
+             | Some p ->
+                 Array.length p = n && Array.for_all Float.is_finite p))
+        (Mechanism.Registry.supporting ~n ~m))
+
+let test_mechanism_score () =
+  (* The generic score agrees with the MinWork-specific metrics. *)
+  let i = inst [ [ 1.0; 5.0 ]; [ 3.0; 4.0 ] ] in
+  let (module M : Mechanism.S) = mechanism_exn "minwork" in
+  let o = M.run (Instance.times i) in
+  let s = Metrics.score i ~name:"minwork" o in
+  let mw = Minwork.run_instance i in
+  Alcotest.(check (float 1e-9)) "frugality" (Metrics.frugality_ratio i mw)
+    (match s.Metrics.frugality with Some f -> f | None -> nan);
+  Alcotest.(check (float 1e-9)) "overpayment" (Metrics.overpayment i mw)
+    (match s.Metrics.overpayment_ with Some v -> v | None -> nan);
+  Alcotest.(check bool) "ratio present on small instances" true
+    (s.Metrics.makespan_ratio <> None)
+
+let prop_minwork_probe_clean =
+  QCheck.Test.make ~count:30 ~name:"minwork misreports never profit (probe)"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let n = 2 + Prng.int g 3 and m = 1 + Prng.int g 3 in
+      let times =
+        Array.init n (fun _ -> Array.init m (fun _ -> float_of_int (1 + Prng.int g 8)))
+      in
+      Metrics.truthfulness_probe (mechanism_exn "minwork")
+        (Instance.create ~times)
+      = None)
+
+(* ------------------------------------------------------------------ *)
 (* Utility / truthfulness                                              *)
 
 let test_utility_decomposition () =
@@ -418,7 +770,41 @@ let () =
          Alcotest.test_case "valuation" `Quick test_valuation_negative_of_time ]);
       ("metrics",
        [ Alcotest.test_case "worked example" `Quick test_metrics_worked_example;
-         Alcotest.test_case "competition gap" `Quick test_competition_gap ]);
+         Alcotest.test_case "competition gap" `Quick test_competition_gap;
+         Alcotest.test_case "mechanism score" `Quick test_mechanism_score ]);
+      ("lp",
+       [ Alcotest.test_case "known optimum" `Quick test_lp_known_optimum;
+         Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+         Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+         Alcotest.test_case "negative rhs" `Quick test_lp_negative_rhs ]);
+      ("vcg",
+       [ Alcotest.test_case "equals minwork" `Quick test_vcg_equals_minwork;
+         Alcotest.test_case "makespan worked example" `Quick
+           test_vcg_makespan_worked_example;
+         Alcotest.test_case "makespan manipulable" `Quick
+           test_vcg_makespan_manipulable ]);
+      ("lu-yu",
+       [ Alcotest.test_case "allocation curve" `Quick test_luyu_allocation_curve;
+         Alcotest.test_case "payments match quadrature" `Quick
+           test_luyu_payment_matches_quadrature;
+         Alcotest.test_case "worst case pinned" `Quick test_luyu_worst_case_pinned;
+         Alcotest.test_case "deterministic in seed" `Quick
+           test_luyu_deterministic_in_seed ]);
+      ("lst",
+       [ Alcotest.test_case "simple" `Quick test_lst_simple ]);
+      ("registry",
+       [ Alcotest.test_case "complete" `Quick test_registry_complete;
+         Alcotest.test_case "randomized requires prng" `Quick
+           test_registry_randomized_requires_prng ]);
+      qsuite "lp properties" [ prop_lp_feasible_point_satisfies ];
+      qsuite "mechanism zoo properties"
+        [ prop_vcg_truthful;
+          prop_vcg_makespan_voluntary;
+          prop_luyu_expected_within_bound;
+          prop_luyu_truthful_in_expectation;
+          prop_lst_two_approx;
+          prop_registry_valid_outcomes;
+          prop_minwork_probe_clean ];
       qsuite "frugality properties"
         [ prop_frugality_at_least_one; prop_more_competition_cheaper_prices ];
       qsuite "game-theoretic properties"
